@@ -1,0 +1,9 @@
+"""Extension: elastic membership (worker churn) study."""
+
+from repro.experiments.ablations import ablation_churn
+
+from conftest import run_figure
+
+
+def test_ablation_churn(benchmark):
+    run_figure(benchmark, ablation_churn)

@@ -1,0 +1,9 @@
+"""Extension: per-link vs shared-egress network model study."""
+
+from repro.experiments.ablations import ablation_network_model
+
+from conftest import run_figure
+
+
+def test_ablation_network_model(benchmark):
+    run_figure(benchmark, ablation_network_model)

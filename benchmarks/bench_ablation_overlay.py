@@ -1,0 +1,9 @@
+"""Extension: partial exchange overlays (gossip topologies) for DLion."""
+
+from repro.experiments.ablations import ablation_overlay
+
+from conftest import run_figure
+
+
+def test_ablation_overlay(benchmark):
+    run_figure(benchmark, ablation_overlay)

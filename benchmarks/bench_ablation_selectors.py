@@ -1,0 +1,9 @@
+"""Extension: data-quality-assurance selector ablation (DESIGN.md §4)."""
+
+from repro.experiments.ablations import ablation_selectors
+
+from conftest import run_figure
+
+
+def test_ablation_selectors(benchmark):
+    run_figure(benchmark, ablation_selectors)

@@ -1,0 +1,9 @@
+"""Extension: per-technique ablation of the full DLion stack."""
+
+from repro.experiments.ablations import ablation_techniques
+
+from conftest import run_figure
+
+
+def test_ablation_techniques(benchmark):
+    run_figure(benchmark, ablation_techniques)

@@ -1,0 +1,9 @@
+"""Fig. 5: accuracy vs. GBS-doubling start epoch (see repro.experiments.figures.fig05)."""
+
+from repro.experiments import figures
+
+from conftest import run_figure
+
+
+def test_fig05(benchmark):
+    run_figure(benchmark, figures.fig05)

@@ -1,0 +1,9 @@
+"""Fig. 6: LBS adaptation under GBS growth (see repro.experiments.figures.fig06)."""
+
+from repro.experiments import figures
+
+from conftest import run_figure
+
+
+def test_fig06(benchmark):
+    run_figure(benchmark, figures.fig06)

@@ -1,0 +1,9 @@
+"""Fig. 7: accuracy vs. Max N (see repro.experiments.figures.fig07)."""
+
+from repro.experiments import figures
+
+from conftest import run_figure
+
+
+def test_fig07(benchmark):
+    run_figure(benchmark, figures.fig07)

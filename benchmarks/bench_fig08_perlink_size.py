@@ -1,0 +1,9 @@
+"""Fig. 8: per-link partial gradient sizes (see repro.experiments.figures.fig08)."""
+
+from repro.experiments import figures
+
+from conftest import run_figure
+
+
+def test_fig08(benchmark):
+    run_figure(benchmark, figures.fig08)

@@ -1,0 +1,9 @@
+"""Fig. 9a: DKT period sweep (see repro.experiments.figures.fig09a)."""
+
+from repro.experiments import figures
+
+from conftest import run_figure
+
+
+def test_fig09a(benchmark):
+    run_figure(benchmark, figures.fig09a)

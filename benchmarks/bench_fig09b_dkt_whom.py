@@ -1,0 +1,9 @@
+"""Fig. 9b: DKT whom-to-send variants (see repro.experiments.figures.fig09b)."""
+
+from repro.experiments import figures
+
+from conftest import run_figure
+
+
+def test_fig09b(benchmark):
+    run_figure(benchmark, figures.fig09b)

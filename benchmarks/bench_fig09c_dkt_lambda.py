@@ -1,0 +1,9 @@
+"""Fig. 9c: DKT merge-lambda sweep (see repro.experiments.figures.fig09c)."""
+
+from repro.experiments import figures
+
+from conftest import run_figure
+
+
+def test_fig09c(benchmark):
+    run_figure(benchmark, figures.fig09c)

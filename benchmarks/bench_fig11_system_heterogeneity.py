@@ -1,0 +1,9 @@
+"""Fig. 11: system heterogeneity, CPU cluster (see repro.experiments.figures.fig11)."""
+
+from repro.experiments import figures
+
+from conftest import run_figure
+
+
+def test_fig11(benchmark):
+    run_figure(benchmark, figures.fig11)

@@ -1,0 +1,9 @@
+"""Fig. 12: GPU cluster robustness (see repro.experiments.figures.fig12)."""
+
+from repro.experiments import figures
+
+from conftest import run_figure
+
+
+def test_fig12(benchmark):
+    run_figure(benchmark, figures.fig12)

@@ -1,0 +1,9 @@
+"""Fig. 13: heterogeneous compute resources (see repro.experiments.figures.fig13)."""
+
+from repro.experiments import figures
+
+from conftest import run_figure
+
+
+def test_fig13(benchmark):
+    run_figure(benchmark, figures.fig13)

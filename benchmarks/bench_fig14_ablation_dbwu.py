@@ -1,0 +1,9 @@
+"""Fig. 14: dynamic batching / weighted update ablation (see repro.experiments.figures.fig14)."""
+
+from repro.experiments import figures
+
+from conftest import run_figure
+
+
+def test_fig14(benchmark):
+    run_figure(benchmark, figures.fig14)

@@ -1,0 +1,9 @@
+"""Fig. 15: heterogeneous network resources (see repro.experiments.figures.fig15)."""
+
+from repro.experiments import figures
+
+from conftest import run_figure
+
+
+def test_fig15(benchmark):
+    run_figure(benchmark, figures.fig15)

@@ -1,0 +1,9 @@
+"""Fig. 16: Max10 alone vs existing systems (see repro.experiments.figures.fig16)."""
+
+from repro.experiments import figures
+
+from conftest import run_figure
+
+
+def test_fig16(benchmark):
+    run_figure(benchmark, figures.fig16)

@@ -1,0 +1,9 @@
+"""Fig. 17: per-worker accuracy deviation (see repro.experiments.figures.fig17)."""
+
+from repro.experiments import figures
+
+from conftest import run_figure
+
+
+def test_fig17(benchmark):
+    run_figure(benchmark, figures.fig17)

@@ -1,0 +1,9 @@
+"""Fig. 18: dynamic resource changes (see repro.experiments.figures.fig18)."""
+
+from repro.experiments import figures
+
+from conftest import run_figure
+
+
+def test_fig18(benchmark):
+    run_figure(benchmark, figures.fig18)

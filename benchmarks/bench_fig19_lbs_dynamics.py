@@ -1,0 +1,9 @@
+"""Fig. 19: LBS under changing compute (see repro.experiments.figures.fig19)."""
+
+from repro.experiments import figures
+
+from conftest import run_figure
+
+
+def test_fig19(benchmark):
+    run_figure(benchmark, figures.fig19)

@@ -1,0 +1,9 @@
+"""Fig. 20: gradient size vs bandwidth dynamics (see repro.experiments.figures.fig20)."""
+
+from repro.experiments import figures
+
+from conftest import run_figure
+
+
+def test_fig20(benchmark):
+    run_figure(benchmark, figures.fig20)

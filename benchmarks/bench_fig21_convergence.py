@@ -1,0 +1,9 @@
+"""Fig. 21: converged accuracy and time (see repro.experiments.figures.fig21)."""
+
+from repro.experiments import figures
+
+from conftest import run_figure
+
+
+def test_fig21(benchmark):
+    run_figure(benchmark, figures.fig21)

@@ -1,0 +1,9 @@
+"""Table 1: plugin lines-of-code accounting (see repro.experiments.figures.table1)."""
+
+from repro.experiments import figures
+
+from conftest import run_figure
+
+
+def test_table1(benchmark):
+    run_figure(benchmark, figures.table1)

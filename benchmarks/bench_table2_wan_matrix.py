@@ -1,0 +1,9 @@
+"""Table 2: AWS inter-region WAN bandwidth matrix (see repro.experiments.figures.table2)."""
+
+from repro.experiments import figures
+
+from conftest import run_figure
+
+
+def test_table2(benchmark):
+    run_figure(benchmark, figures.table2)

@@ -1,0 +1,9 @@
+"""Table 3: emulated micro-cloud environments (see repro.experiments.figures.table3)."""
+
+from repro.experiments import figures
+
+from conftest import run_figure
+
+
+def test_table3(benchmark):
+    run_figure(benchmark, figures.table3)

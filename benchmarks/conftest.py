@@ -1,0 +1,35 @@
+"""Shared harness for the per-figure benchmarks.
+
+Every ``bench_*.py`` file regenerates one paper table/figure: it runs
+the matching driver from :mod:`repro.experiments.figures` exactly once
+under pytest-benchmark (the "benchmark" here is the experiment itself),
+prints the paper-style rows, and archives them under
+``benchmarks/results/`` so EXPERIMENTS.md can be refreshed from real
+runs.
+
+Scale control: ``REPRO_BENCH_SCALE=fast`` (default, compressed time
+axis, one seed) or ``full`` (paper-length runs, three seeds).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def run_figure(benchmark, driver):
+    """Run one figure driver once, print and archive its rows."""
+    holder = {}
+
+    def once():
+        holder["fig"] = driver()
+
+    benchmark.pedantic(once, rounds=1, iterations=1)
+    fig = holder["fig"]
+    rendered = fig.render()
+    print("\n" + rendered)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    slug = fig.figure.lower().replace(" ", "").replace(".", "")
+    (RESULTS_DIR / f"{slug}.txt").write_text(rendered + "\n")
+    return fig

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Gossip-style partial exchange: DLion over sparse peer overlays.
+
+The paper's workers exchange gradients with *every* peer. This example
+runs the same DLion stack over four overlays — full mesh, a random
+3-regular graph, a ring, and a star — and reports accuracy against the
+bytes actually put on the wire. Sparse regular overlays typically match
+the mesh at a fraction of the traffic; the star pays for its hub
+bottleneck.
+
+Run:  python examples/gossip_overlays.py
+"""
+
+from repro import ClusterTopology, TrainConfig, TrainingEngine
+from repro.cluster.peergraph import PeerGraph
+from repro.core.config import DktConfig
+from repro.experiments.reporting import format_table
+
+HORIZON = 240.0
+
+
+def main() -> None:
+    overlays = [
+        ("full mesh", PeerGraph.full_mesh(6)),
+        ("3-regular", PeerGraph.k_regular(6, 3, seed=0)),
+        ("ring", PeerGraph.ring(6)),
+        ("star", PeerGraph.star(6)),
+    ]
+    config = TrainConfig(
+        model="mlp",
+        model_kwargs={"in_dim": 576, "hidden": (128, 64)},
+        dataset_kwargs={"noise": 1.8},
+        train_size=6000,
+        test_size=500,
+        lr=0.03,
+        system="dlion",
+        dkt=DktConfig(period_iters=25),
+    )
+    rows = []
+    for label, overlay in overlays:
+        topology = ClusterTopology.build(
+            cores=[24] * 6, bandwidth=[3.3] * 6,  # constrained homogeneous WAN
+        )
+        result = TrainingEngine(
+            config, topology, seed=0, peer_graph=overlay
+        ).run(HORIZON)
+        rows.append(
+            [
+                label,
+                overlay.edges,
+                overlay.diameter(),
+                result.final_mean_accuracy(),
+                round(sum(result.link_bytes.values()) / 1e6, 1),
+            ]
+        )
+        print(f"ran {label}")
+
+    print()
+    print(format_table(
+        ["overlay", "edges", "diameter", "accuracy", "MB on wire"], rows
+    ))
+
+
+if __name__ == "__main__":
+    main()

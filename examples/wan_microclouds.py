@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Six micro-clouds in six Amazon regions, linked by the paper's Table 2.
+
+Each worker lives in a different AWS region; every directed link uses
+the measured inter-region bandwidth from the paper (Virginia-Oregon at
+190 Mbps down to Ireland-Seoul at 30 Mbps). DLion's per-link
+prioritized gradient exchange fits a different Max-N to each link, so
+slow routes carry only the most significant gradients.
+
+Run:  python examples/wan_microclouds.py
+"""
+
+import numpy as np
+
+from repro import TrainConfig, TrainingEngine
+from repro.cluster.compute import ComputeProfile
+from repro.cluster.network import AWS_REGIONS, BandwidthMatrix
+from repro.cluster.topology import ClusterTopology
+from repro.experiments.reporting import format_table
+
+HORIZON = 240.0
+# Scale Table 2 down to this demo model's wire size (see DESIGN.md §2's
+# wire-scaling rule; the runner does this automatically for benches).
+WIRE_SCALE = 0.33 / 5.0 * 0.2
+
+
+def main() -> None:
+    region_ids = list(range(6))  # worker i in region i
+    matrix = BandwidthMatrix.from_regions(region_ids, lan_mbps=1000.0)
+    # apply the wire scaling by rebuilding with scaled values
+    spec = [
+        [
+            matrix.link(i, j).bandwidth_at(0.0) * WIRE_SCALE if i != j else 1.0
+            for j in range(6)
+        ]
+        for i in range(6)
+    ]
+    topology = ClusterTopology(
+        compute=[ComputeProfile(24, per_core_rate=8.0) for _ in range(6)],
+        network=BandwidthMatrix(spec),
+    )
+
+    config = TrainConfig(
+        model="mlp",
+        model_kwargs={"in_dim": 576, "hidden": (128, 64)},
+        dataset_kwargs={"noise": 1.8},
+        train_size=6000,
+        test_size=500,
+        lr=0.03,
+        system="dlion",
+    )
+    result = TrainingEngine(config, topology, seed=0).run(HORIZON)
+
+    rows = []
+    for dst in range(1, 6):
+        chosen = result.link_chosen_n.get((0, dst))
+        entries = result.link_entries.get((0, dst))
+        rows.append(
+            [
+                f"{AWS_REGIONS[0]} -> {AWS_REGIONS[dst]}",
+                round(spec[0][dst] / WIRE_SCALE),
+                float(np.mean(chosen.values)) if chosen else None,
+                int(np.mean(entries.values)) if entries else None,
+            ]
+        )
+    print("per-link adaptation from the Virginia worker:")
+    print(
+        format_table(
+            ["link", "Table 2 Mbps", "mean chosen N", "mean entries/msg"], rows
+        )
+    )
+    print(f"\nfinal accuracy: {result.final_mean_accuracy():.3f} "
+          f"after {result.epochs:.1f} epochs")
+
+
+if __name__ == "__main__":
+    main()

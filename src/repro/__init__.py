@@ -1,0 +1,43 @@
+"""repro — a reproduction of *DLion: Decentralized Distributed Deep
+Learning in Micro-Clouds* (Hong & Chandra, HPDC 2021).
+
+Quick start::
+
+    from repro import TrainConfig, TrainingEngine, ClusterTopology
+
+    topo = ClusterTopology.build(cores=[24, 24, 12, 12, 6, 6],
+                                 bandwidth=[50, 50, 35, 35, 20, 20])
+    engine = TrainingEngine(TrainConfig(system="dlion"), topo, seed=0)
+    result = engine.run(horizon=300.0)
+    print(result.final_mean_accuracy())
+
+Subpackages: :mod:`repro.nn` (the NumPy DL substrate),
+:mod:`repro.cluster` (the micro-cloud simulator), :mod:`repro.core`
+(DLion's techniques and engine), :mod:`repro.baselines` (Baseline, Ako,
+Gaia, Hop), :mod:`repro.experiments` (Table 3 environments and the
+per-figure drivers).
+"""
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.config import (
+    DktConfig,
+    GbsConfig,
+    LbsConfig,
+    MaxNConfig,
+    TrainConfig,
+)
+from repro.core.engine import RunResult, TrainingEngine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterTopology",
+    "TrainConfig",
+    "GbsConfig",
+    "LbsConfig",
+    "MaxNConfig",
+    "DktConfig",
+    "TrainingEngine",
+    "RunResult",
+    "__version__",
+]

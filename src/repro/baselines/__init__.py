@@ -1,0 +1,24 @@
+"""The four comparison systems, expressed as DLion framework plugins.
+
+Paper §4.2 / Table 1: Baseline, Hop, Gaia, and Ako are all implemented
+inside the DLion framework by overriding ``generate_partial_gradients``
+and (for Hop) configuring ``synch_training`` — a handful of lines each.
+This package reproduces that: every system is an
+:class:`~repro.core.api.ExchangeStrategy` subclass, and
+:mod:`repro.baselines.loc` counts the plugin lines for Table 1.
+"""
+
+from repro.baselines.baseline_full import BaselineStrategy
+from repro.baselines.ako import AkoStrategy
+from repro.baselines.gaia import GaiaStrategy
+from repro.baselines.hop import HopStrategy
+from repro.baselines.registry import SYSTEMS, create_strategy
+
+__all__ = [
+    "BaselineStrategy",
+    "AkoStrategy",
+    "GaiaStrategy",
+    "HopStrategy",
+    "SYSTEMS",
+    "create_strategy",
+]

@@ -1,0 +1,25 @@
+"""Baseline: whole gradients to every worker, fully synchronous.
+
+Paper §5.1.4 system (1): "exchanging whole gradients with all workers
+every iteration". The plugin body is a single line — the Table 1 claim.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.api import ExchangeStrategy, PartialGradients, WorkerContext
+
+__all__ = ["BaselineStrategy"]
+
+
+class BaselineStrategy(ExchangeStrategy):
+    """Baseline: whole gradients to every peer, lockstep synchronous."""
+    name = "baseline"
+
+    def generate_partial_gradients(
+        self, ctx: WorkerContext, grads: Mapping[str, np.ndarray]
+    ) -> dict[int, PartialGradients]:
+        return {dst: PartialGradients(kind="dense", payload=dict(grads)) for dst in ctx.peers}

@@ -1,0 +1,58 @@
+"""Gaia (NSDI '17): significance-filtered gradient exchange.
+
+Paper §5.1.4 system (3): "exchanging only a subset of gradients causing
+more than S% change on model weights", S = 1%. Gaia accumulates local
+updates and ships an entry once its *accumulated* effect on the weight
+crosses the significance threshold; shipped entries reset their
+accumulator. Synchronization is "a kind of bounded synchronous
+strategy" (§5.2.5), modelled as a staleness-1 bound.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.api import ExchangeStrategy, PartialGradients, WorkerContext
+from repro.core.sync import BoundedPolicy
+
+__all__ = ["GaiaStrategy"]
+
+
+class GaiaStrategy(ExchangeStrategy):
+    """Gaia: significance-filtered accumulated gradients (S% threshold)."""
+    name = "gaia"
+
+    def __init__(self, *, s_percent: float = 1.0, lr: float = 0.1, n_workers: int = 6,
+                 staleness: int = 1):
+        if s_percent <= 0:
+            raise ValueError("significance threshold must be positive")
+        super().__init__(BoundedPolicy(staleness, 0))
+        self.s = s_percent / 100.0
+        self.lr = lr
+        self.n_workers = n_workers
+        self._acc: dict[str, np.ndarray] | None = None
+
+    def generate_partial_gradients(
+        self, ctx: WorkerContext, grads: Mapping[str, np.ndarray]
+    ) -> dict[int, PartialGradients]:
+        if self._acc is None:
+            self._acc = {k: np.zeros_like(g) for k, g in grads.items()}
+        weights = ctx.model_variables()
+        payload: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        for name, g in grads.items():
+            acc = self._acc[name]
+            acc += g
+            # Significance of the accumulated update relative to the
+            # current weight magnitude (floored to avoid div-by-zero).
+            scale = self.lr / self.n_workers
+            denom = np.maximum(np.abs(weights[name].reshape(-1)), 1e-3)
+            ratio = scale * np.abs(acc.reshape(-1)) / denom
+            idx = np.nonzero(ratio >= self.s)[0]
+            if idx.size:
+                payload[name] = (idx.astype(np.int64), acc.reshape(-1)[idx].copy())
+                acc.reshape(-1)[idx] = 0.0
+        # The same significant set goes to every peer; empty payloads
+        # still travel as progress beacons.
+        return {dst: PartialGradients(kind="sparse", payload=payload) for dst in ctx.peers}

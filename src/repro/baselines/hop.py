@@ -1,0 +1,37 @@
+"""Hop (ASPLOS '19): heterogeneity-aware decentralized training.
+
+Paper §5.1.4 system (4): "exchanging whole gradients but advancing
+iterations by not receiving gradients of stragglers called backup
+workers", with backup = 1 and staleness bound = 5 in the evaluation.
+The gradient payload is the Baseline's one-liner; Hop's substance lives
+in its bounded-synchronous ``synch_training`` policy.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.api import ExchangeStrategy, PartialGradients, WorkerContext
+from repro.core.sync import BoundedPolicy, SyncState
+
+__all__ = ["HopStrategy"]
+
+
+class HopStrategy(ExchangeStrategy):
+    """Hop: whole gradients under bounded staleness with backup workers."""
+    name = "hop"
+
+    def __init__(self, *, staleness: int = 5, backup: int = 1):
+        super().__init__(BoundedPolicy(staleness, backup))
+
+    def generate_partial_gradients(
+        self, ctx: WorkerContext, grads: Mapping[str, np.ndarray]
+    ) -> dict[int, PartialGradients]:
+        return {dst: PartialGradients(kind="dense", payload=dict(grads)) for dst in ctx.peers}
+
+    def synch_training(self, ctx: WorkerContext, state: SyncState) -> bool:
+        # Bounded synchronous with backup workers: tolerate up to
+        # `backup` stragglers lagging more than `staleness` iterations.
+        return self.sync_policy.can_proceed(state)

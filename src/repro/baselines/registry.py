@@ -1,0 +1,54 @@
+"""System registry: name → strategy factory.
+
+``create_strategy(config, worker_id)`` builds the exchange strategy for
+one worker from ``TrainConfig.system`` / ``TrainConfig.system_kwargs``.
+The five systems of the evaluation (§5.1.4):
+
+=========  ==========================================  ==================
+name       gradient exchange                           synchronization
+=========  ==========================================  ==================
+dlion      per-link Max-N with transmission budgets    configurable
+baseline   whole gradients to all                      synchronous
+ako        round-robin accumulated partitions          asynchronous
+gaia       significance-filtered accumulation (S=1%)   bounded (τ=1)
+hop        whole gradients                             bounded (τ=5, b=1)
+=========  ==========================================  ==================
+"""
+
+from __future__ import annotations
+
+from repro.baselines.ako import AkoStrategy
+from repro.baselines.baseline_full import BaselineStrategy
+from repro.baselines.gaia import GaiaStrategy
+from repro.baselines.hop import HopStrategy
+from repro.core.api import ExchangeStrategy
+from repro.core.config import TrainConfig
+from repro.core.strategy import DLionStrategy
+from repro.core.sync import LockstepPolicy, make_sync_policy
+
+__all__ = ["SYSTEMS", "create_strategy"]
+
+SYSTEMS = ("dlion", "baseline", "ako", "gaia", "hop")
+
+
+def create_strategy(config: TrainConfig, worker_id: int) -> ExchangeStrategy:
+    """One strategy instance per worker (strategies hold worker state)."""
+    name = config.system
+    kw = dict(config.system_kwargs)
+    if name == "dlion":
+        policy = make_sync_policy(
+            config.sync_mode,
+            staleness=config.staleness_bound,
+            backup=config.backup_workers,
+        )
+        return DLionStrategy(policy, config.maxn)
+    if name == "baseline":
+        return BaselineStrategy(LockstepPolicy())
+    if name == "ako":
+        return AkoStrategy(**kw)
+    if name == "gaia":
+        kw.setdefault("lr", config.lr)
+        return GaiaStrategy(**kw)
+    if name == "hop":
+        return HopStrategy(**kw)
+    raise ValueError(f"unknown system {name!r}; available: {SYSTEMS}")

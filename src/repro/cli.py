@@ -1,0 +1,261 @@
+"""Command-line interface.
+
+Five subcommands::
+
+    repro-dlion list                         # environments, systems, figures
+    repro-dlion run  --environment "Hetero SYS A" --system dlion
+    repro-dlion compare --environment "Homo B" --systems dlion,ako,gaia
+    repro-dlion figure fig11                 # regenerate one paper figure
+    repro-dlion selftest                     # ~10 s install verification
+
+``run`` and ``compare`` accept ``--horizon`` (simulated seconds; default
+is the workload's scaled paper horizon) and ``--seed``. ``run`` also
+takes ``--env-file`` (custom cluster JSON), ``--churn`` (elastic
+membership events), and ``--output``/``--csv`` (result export). All
+output is plain text; benchmark archives land under
+``benchmarks/results/`` when figures are run through pytest instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import figures as figures_mod
+from repro.experiments.environments import ENVIRONMENTS
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import SYSTEM_VARIANTS, RunSpec, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+_FIGURES = [name for name in figures_mod.__all__]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI (list / run / compare / figure / selftest)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-dlion",
+        description="Reproduction of DLion (HPDC '21): decentralized "
+        "distributed deep learning in micro-clouds.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list environments, system variants, and figures")
+
+    run_p = sub.add_parser("run", help="run one system in one environment")
+    run_p.add_argument("--environment", "-e", choices=sorted(ENVIRONMENTS),
+                       help="a Table 3 preset (or use --env-file)")
+    run_p.add_argument("--env-file", help="custom environment JSON (see docs/api.md)")
+    run_p.add_argument("--output", help="write the full result as JSON to this path")
+    run_p.add_argument("--csv", help="write per-worker accuracy samples as CSV")
+    run_p.add_argument("--system", "-s", default="dlion", choices=SYSTEM_VARIANTS)
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--horizon", type=float, default=None,
+                       help="simulated seconds (default: scaled paper horizon)")
+    run_p.add_argument("--target", type=float, default=0.70,
+                       help="accuracy target for the time-to-accuracy metric")
+    run_p.add_argument(
+        "--churn",
+        action="append",
+        default=[],
+        metavar="TIME:WORKER:ACTION",
+        help="elastic-membership event, e.g. --churn 100:0:leave "
+        "--churn 200:0:join (repeatable)",
+    )
+
+    cmp_p = sub.add_parser("compare", help="run several systems in one environment")
+    cmp_p.add_argument("--environment", "-e", required=True, choices=sorted(ENVIRONMENTS))
+    cmp_p.add_argument("--systems", default="dlion,baseline,ako,gaia,hop",
+                       help="comma-separated system variants")
+    cmp_p.add_argument("--seed", type=int, default=0)
+    cmp_p.add_argument("--horizon", type=float, default=None)
+
+    fig_p = sub.add_parser("figure", help="regenerate one paper table/figure")
+    fig_p.add_argument("name", choices=_FIGURES,
+                       help="e.g. fig11, fig09a, table1")
+
+    sub.add_parser("selftest", help="quick installation self-test (~1 min)")
+    return parser
+
+
+def _cmd_list() -> int:
+    print("environments (paper Table 3):")
+    for env in ENVIRONMENTS.values():
+        print(f"  {env.name:15s} [{env.platform}] {env.description}")
+    print("\nsystem variants:")
+    for variant in SYSTEM_VARIANTS:
+        print(f"  {variant}")
+    print("\nfigures / tables (repro-dlion figure <name>):")
+    print("  " + ", ".join(_FIGURES))
+    return 0
+
+
+def _parse_churn(entries: list[str], n_workers: int = 6):
+    if not entries:
+        return None
+    from repro.cluster.membership import MembershipSchedule
+
+    events = []
+    for entry in entries:
+        try:
+            time_s, worker_s, action = entry.split(":")
+            events.append((float(time_s), int(worker_s), action))
+        except ValueError as exc:
+            raise SystemExit(f"bad --churn entry {entry!r}: {exc}")
+    return MembershipSchedule(events, n_workers=n_workers)
+
+
+def _run_env_file(args: argparse.Namespace):
+    from repro.cluster.topology import ClusterTopology
+    from repro.cluster.traces import PiecewiseTrace
+    from repro.core.engine import TrainingEngine
+    from repro.experiments.envfile import load_environment
+    from repro.experiments.runner import build_config, cpu_workload, gpu_workload
+
+    spec, cores, bandwidths = load_environment(args.env_file)
+    workload = gpu_workload() if spec.platform == "gpu" else cpu_workload()
+    ws = workload.wire_scale()
+
+    def scale(bw):
+        if isinstance(bw, (int, float)):
+            return float(bw) * ws
+        # trace: rebuild with scaled levels
+        segments = [(t, v * ws) for t, v in zip(bw._times, bw._values)]
+        return PiecewiseTrace(segments)
+
+    topo = ClusterTopology.build(
+        cores=cores,
+        bandwidth=[scale(b) for b in bandwidths],
+        per_core_rate=workload.per_unit_rate,
+        overhead=workload.overhead,
+    )
+    engine = TrainingEngine(
+        build_config(args.system, workload),
+        topo,
+        seed=args.seed,
+        membership=_parse_churn(args.churn, n_workers=topo.n_workers),
+    )
+    horizon = args.horizon if args.horizon is not None else workload.horizon()
+    print(f"custom environment: {spec.name} ({topo.n_workers} workers)")
+    return engine.run(horizon)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if bool(args.environment) == bool(args.env_file):
+        print("exactly one of --environment / --env-file is required", file=sys.stderr)
+        return 2
+    membership = _parse_churn(args.churn)
+    if args.env_file:
+        result = _run_env_file(args)
+    elif membership is None:
+        spec = RunSpec(
+            environment=args.environment,
+            system=args.system,
+            seed=args.seed,
+            horizon=args.horizon,
+        )
+        result = run_experiment(spec)
+    else:
+        # Elastic runs build the engine directly (RunSpec stays a pure
+        # value object for the figure drivers).
+        from repro.core.engine import TrainingEngine
+        from repro.experiments.environments import get_environment
+        from repro.experiments.runner import build_config, build_topology, workload_for
+
+        env = get_environment(args.environment)
+        workload = workload_for(env)
+        engine = TrainingEngine(
+            build_config(args.system, workload),
+            build_topology(env, workload),
+            seed=args.seed,
+            membership=membership,
+        )
+        result = engine.run(
+            args.horizon if args.horizon is not None else workload.horizon()
+        )
+    print(f"environment    : {args.environment or args.env_file}")
+    print(f"system         : {args.system}")
+    print(f"simulated time : {result.horizon:.0f} s")
+    print(f"iterations     : {result.iterations}")
+    print(f"epochs         : {result.epochs:.2f}")
+    print(f"accuracy       : {result.final_mean_accuracy():.3f}")
+    print(f"worker std     : {result.accuracy_deviation_at(result.horizon):.4f}")
+    t = result.time_to_accuracy(args.target)
+    print(f"time to {args.target:.0%}    : {'not reached' if t is None else f'{t:.1f} s'}")
+    print(f"bytes on wire  : {sum(result.link_bytes.values()) / 1e6:.1f} MB")
+    print(f"DKT merges     : {result.dkt_merges}")
+    if len(result.active_workers) > 1:
+        steps = ", ".join(
+            f"{t:.0f}s->{int(n)}"
+            for t, n in zip(result.active_workers.times, result.active_workers.values)
+        )
+        print(f"active workers : {steps}")
+    if args.output:
+        from repro.experiments.export import write_json
+
+        write_json(result, args.output)
+        print(f"result JSON    : {args.output}")
+    if args.csv:
+        from repro.experiments.export import write_accuracy_csv
+
+        write_accuracy_csv(result, args.csv)
+        print(f"accuracy CSV   : {args.csv}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    systems = [s.strip() for s in args.systems.split(",") if s.strip()]
+    unknown = [s for s in systems if s not in SYSTEM_VARIANTS]
+    if unknown:
+        print(f"unknown systems: {unknown}", file=sys.stderr)
+        return 2
+    rows = []
+    for system in systems:
+        result = run_experiment(
+            RunSpec(
+                environment=args.environment,
+                system=system,
+                seed=args.seed,
+                horizon=args.horizon,
+            )
+        )
+        rows.append(
+            [
+                system,
+                result.final_mean_accuracy(),
+                result.accuracy_deviation_at(result.horizon),
+                min(result.iterations),
+                round(sum(result.link_bytes.values()) / 1e6, 1),
+            ]
+        )
+    print(f"environment: {args.environment}")
+    print(format_table(["system", "accuracy", "worker std", "min iters", "MB"], rows))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    driver = getattr(figures_mod, args.name)
+    print(driver().render())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "selftest":
+        from repro.selftest import run_selftest
+
+        return 1 if run_selftest() else 0
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,90 @@
+"""Per-worker compute model.
+
+A worker's gradient iteration over batch ``b`` at simulated time ``t``
+takes::
+
+    iter_time = overhead + b / (cores(t) * per_core_rate)      [seconds]
+
+multiplied by lognormal jitter modelling OS noise. ``cores(t)`` follows
+the environment's trace (the ``stress`` substitute). The LBS controller
+never reads this model directly — it *measures* it through timed probe
+iterations, exactly like the paper's profiling, so measurement error is
+part of the reproduction.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.cluster.traces import ConstantTrace
+
+__all__ = ["ComputeProfile"]
+
+
+class ComputeProfile:
+    """Compute capacity of one worker.
+
+    Parameters
+    ----------
+    cores:
+        A trace of available CPU cores (or GPU-equivalent units) over
+        time; Table 3's per-worker core counts go here.
+    per_core_rate:
+        Training samples processed per second per core. This is the
+        calibration knob that sets the compute/communication balance
+        (see DESIGN.md §5).
+    overhead:
+        Fixed per-iteration cost (framework dispatch, gradient packing);
+        makes iteration time affine in batch size, which is what the
+        paper's linear-regression profiling assumes.
+    jitter:
+        Sigma of multiplicative lognormal noise. Zero disables noise.
+    """
+
+    def __init__(
+        self,
+        cores,
+        *,
+        per_core_rate: float = 8.0,
+        overhead: float = 0.05,
+        jitter: float = 0.03,
+    ):
+        if isinstance(cores, (int, float)):
+            cores = ConstantTrace(float(cores))
+        if per_core_rate <= 0:
+            raise ValueError("per_core_rate must be positive")
+        if overhead < 0:
+            raise ValueError("overhead must be non-negative")
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        self.cores = cores
+        self.per_core_rate = per_core_rate
+        self.overhead = overhead
+        self.jitter = jitter
+
+    def rate_at(self, t: float) -> float:
+        """Samples per second at time ``t`` (noise-free)."""
+        return self.cores.value_at(t) * self.per_core_rate
+
+    def iter_time(
+        self, batch_size: int, t: float, rng: np.random.Generator | None = None
+    ) -> float:
+        """Simulated duration of one gradient iteration over ``batch_size``."""
+        if batch_size < 1:
+            raise ValueError("batch size must be >= 1")
+        base = self.overhead + batch_size / self.rate_at(t)
+        if self.jitter > 0 and rng is not None:
+            base *= math.exp(rng.normal(0.0, self.jitter))
+        return base
+
+    def max_batch_in(self, unit_time: float, t: float) -> float:
+        """Largest batch processable within ``unit_time`` at time ``t``.
+
+        The ground-truth analogue of the RCP the LBS controller estimates.
+        """
+        budget = unit_time - self.overhead
+        if budget <= 0:
+            return 0.0
+        return budget * self.rate_at(t)

@@ -1,0 +1,105 @@
+"""Random resource-degradation traces (fault injection).
+
+Table 3's dynamic environments script *planned* phase changes; real
+micro-clouds also suffer unplanned interference — a co-located job
+stealing cores, a congested uplink. This module generates seeded random
+degradation schedules as :class:`PiecewiseTrace` objects:
+
+* events arrive as a Poisson process (``rate`` per simulated second);
+* each event multiplies the resource by ``severity`` (drawn uniformly
+  from a range) for an exponentially-distributed duration;
+* overlapping events compound multiplicatively.
+
+Used by the flaky-cluster example and the robustness tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.traces import PiecewiseTrace
+
+__all__ = ["degraded_trace", "flaky_capacities"]
+
+
+def degraded_trace(
+    base: float,
+    rng: np.random.Generator,
+    *,
+    horizon: float,
+    rate: float = 0.01,
+    severity: tuple[float, float] = (0.2, 0.7),
+    mean_duration: float = 40.0,
+    floor: float = 1e-3,
+) -> PiecewiseTrace:
+    """A piecewise trace of ``base`` under random degradation events.
+
+    Parameters
+    ----------
+    rate:
+        Expected events per simulated second (Poisson).
+    severity:
+        Each event multiplies capacity by a factor drawn uniformly from
+        this range (lower = harsher).
+    mean_duration:
+        Mean of the exponential event duration.
+    floor:
+        Compounded capacity never drops below ``floor * base``.
+    """
+    if base <= 0 or horizon <= 0:
+        raise ValueError("base and horizon must be positive")
+    if rate < 0 or mean_duration <= 0:
+        raise ValueError("rate must be >= 0 and mean_duration > 0")
+    lo, hi = severity
+    if not 0 < lo <= hi <= 1:
+        raise ValueError("severity range must satisfy 0 < lo <= hi <= 1")
+
+    # Sample events.
+    events: list[tuple[float, float, float]] = []  # (start, end, factor)
+    t = 0.0
+    while True:
+        if rate == 0:
+            break
+        t += float(rng.exponential(1.0 / rate))
+        if t >= horizon:
+            break
+        duration = float(rng.exponential(mean_duration))
+        factor = float(rng.uniform(lo, hi))
+        events.append((t, min(horizon, t + duration), factor))
+
+    if not events:
+        return PiecewiseTrace([(0.0, base)])
+
+    # Sweep the breakpoints, compounding active events.
+    points = sorted({0.0, *[e[0] for e in events], *[e[1] for e in events]})
+    segments: list[tuple[float, float]] = []
+    for start in points:
+        level = base
+        for ev_start, ev_end, factor in events:
+            if ev_start <= start < ev_end:
+                level *= factor
+        level = max(level, floor * base)
+        if not segments or abs(segments[-1][1] - level) > 1e-12:
+            segments.append((start, level))
+    if segments[0][0] != 0.0:
+        segments.insert(0, (0.0, base))
+    return PiecewiseTrace(segments)
+
+
+def flaky_capacities(
+    base_values,
+    rng: np.random.Generator,
+    *,
+    horizon: float,
+    rate: float = 0.01,
+    severity: tuple[float, float] = (0.2, 0.7),
+    mean_duration: float = 40.0,
+) -> list[PiecewiseTrace]:
+    """Independent degradation traces for a whole worker list."""
+    return [
+        degraded_trace(
+            float(v), rng, horizon=horizon, rate=rate,
+            severity=severity, mean_duration=mean_duration,
+        )
+        for v in base_values
+    ]

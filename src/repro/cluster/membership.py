@@ -1,0 +1,92 @@
+"""Cluster membership schedules — the elastic-cluster extension.
+
+The paper scopes itself to a fixed worker set ("we do not focus on
+elastic cluster", §3.2); micro-clouds in practice lose and regain
+workers. A :class:`MembershipSchedule` scripts that churn: a list of
+``(time, worker, action)`` events with ``action`` either ``"leave"`` or
+``"join"``. The engine replays the schedule, and the rest of the system
+adapts through the same mechanisms the paper built for *resource*
+dynamism: LBS reallocation over the surviving RCP table, sync policies
+over the active peer set, and a DKT-style weight pull to bootstrap a
+rejoining worker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["MembershipEvent", "MembershipSchedule"]
+
+_ACTIONS = ("leave", "join")
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    time: float
+    worker: int
+    action: str
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("event time must be non-negative")
+        if self.worker < 0:
+            raise ValueError("worker id must be non-negative")
+        if self.action not in _ACTIONS:
+            raise ValueError(f"action must be one of {_ACTIONS}")
+
+
+class MembershipSchedule:
+    """A validated, time-ordered churn script.
+
+    Validation enforces a consistent narrative per worker: the first
+    event must be a ``leave`` (everyone starts active), and events must
+    alternate leave/join at strictly increasing times.
+    """
+
+    def __init__(self, events: Iterable[MembershipEvent | tuple], n_workers: int):
+        if n_workers < 2:
+            raise ValueError("need at least two workers")
+        normalized: list[MembershipEvent] = []
+        for ev in events:
+            if not isinstance(ev, MembershipEvent):
+                ev = MembershipEvent(*ev)
+            normalized.append(ev)
+        normalized.sort(key=lambda e: (e.time, e.worker))
+        state: dict[int, bool] = {}
+        last_time: dict[int, float] = {}
+        for ev in normalized:
+            if ev.worker >= n_workers:
+                raise ValueError(f"worker {ev.worker} out of range")
+            active = state.get(ev.worker, True)
+            if ev.action == "leave" and not active:
+                raise ValueError(f"worker {ev.worker} leaves twice")
+            if ev.action == "join" and active:
+                raise ValueError(f"worker {ev.worker} joins while active")
+            if ev.worker in last_time and ev.time <= last_time[ev.worker]:
+                raise ValueError(
+                    f"events for worker {ev.worker} must have increasing times"
+                )
+            state[ev.worker] = ev.action == "join"
+            last_time[ev.worker] = ev.time
+        self.events = normalized
+        self.n_workers = n_workers
+
+    def active_at(self, t: float) -> set[int]:
+        """The set of active workers at time ``t`` (events are inclusive)."""
+        state = {w: True for w in range(self.n_workers)}
+        for ev in self.events:
+            if ev.time > t:
+                break
+            state[ev.worker] = ev.action == "join"
+        return {w for w, a in state.items() if a}
+
+    def min_active(self) -> int:
+        """The smallest concurrent active count over the whole schedule."""
+        lowest = self.n_workers
+        for ev in self.events:
+            lowest = min(lowest, len(self.active_at(ev.time)))
+        return lowest
+
+    def __len__(self) -> int:
+        return len(self.events)

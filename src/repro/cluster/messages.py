@@ -1,0 +1,147 @@
+"""Typed messages and their wire sizes.
+
+DLion sends gradients "divided into indices and data ... with unique
+keys" at per-weight-variable granularity (paper §4.2). We model the same
+format: sparse payloads cost 4 B/index + 4 B/value, dense payloads
+4 B/value, with a small per-variable key/header overhead. Control
+messages (loss shares, DKT requests, go-signals) are small fixed-size
+records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+__all__ = [
+    "VARIABLE_HEADER_BYTES",
+    "CONTROL_MESSAGE_BYTES",
+    "sparse_payload_bytes",
+    "dense_payload_bytes",
+    "GradientMessage",
+    "WeightMessage",
+    "LossShareMessage",
+    "DktRequestMessage",
+    "RcpShareMessage",
+    "ControlMessage",
+]
+
+VARIABLE_HEADER_BYTES = 24  # key + shape + dtype framing per weight variable
+CONTROL_MESSAGE_BYTES = 64
+
+SparseDict = Mapping[str, tuple[np.ndarray, np.ndarray]]
+DenseDict = Mapping[str, np.ndarray]
+
+
+def sparse_payload_bytes(payload: SparseDict) -> int:
+    """Wire size of an index/value sparse gradient dict."""
+    total = 0
+    for idx, vals in payload.values():
+        if idx.shape != vals.shape:
+            raise ValueError("index/value arrays must align")
+        total += VARIABLE_HEADER_BYTES + 8 * int(idx.size)
+    return total
+
+
+def dense_payload_bytes(payload: DenseDict) -> int:
+    """Wire size of a dense per-variable dict (gradients or weights)."""
+    return sum(VARIABLE_HEADER_BYTES + 4 * int(v.size) for v in payload.values())
+
+
+@dataclass
+class GradientMessage:
+    """Partial (sparse) or full (dense) gradients from one iteration.
+
+    Exactly one of ``sparse``/``dense`` is set. ``lbs`` is the local
+    batch size the gradients were computed over — the receiver needs it
+    for the dynamic-batching weight of Eq. 7.
+    """
+
+    sender: int
+    iteration: int
+    lbs: int
+    sparse: dict[str, tuple[np.ndarray, np.ndarray]] | None = None
+    dense: dict[str, np.ndarray] | None = None
+
+    def __post_init__(self) -> None:
+        if (self.sparse is None) == (self.dense is None):
+            raise ValueError("exactly one of sparse/dense must be provided")
+        if self.lbs < 1:
+            raise ValueError("lbs must be >= 1")
+
+    def wire_bytes(self) -> int:
+        """Bytes this message occupies on the wire."""
+        if self.sparse is not None:
+            return sparse_payload_bytes(self.sparse)
+        return dense_payload_bytes(self.dense)  # type: ignore[arg-type]
+
+    def num_entries(self) -> int:
+        """Number of gradient entries carried."""
+        if self.sparse is not None:
+            return sum(int(i.size) for i, _ in self.sparse.values())
+        return sum(int(v.size) for v in self.dense.values())  # type: ignore[union-attr]
+
+
+@dataclass
+class WeightMessage:
+    """A full model-weight snapshot (direct knowledge transfer payload)."""
+
+    sender: int
+    iteration: int
+    weights: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def wire_bytes(self) -> int:
+        """Bytes this message occupies on the wire."""
+        return dense_payload_bytes(self.weights)
+
+
+@dataclass
+class LossShareMessage:
+    """Average of the sender's last ``l`` training losses (DKT §3.4)."""
+
+    sender: int
+    iteration: int
+    avg_loss: float
+
+    def wire_bytes(self) -> int:
+        """Bytes this message occupies on the wire."""
+        return CONTROL_MESSAGE_BYTES
+
+
+@dataclass
+class DktRequestMessage:
+    """Request to pull the best worker's weights."""
+
+    sender: int
+    iteration: int
+
+    def wire_bytes(self) -> int:
+        """Bytes this message occupies on the wire."""
+        return CONTROL_MESSAGE_BYTES
+
+
+@dataclass
+class RcpShareMessage:
+    """A worker's measured relative compute power (LBS controller §3.2)."""
+
+    sender: int
+    rcp: float
+
+    def wire_bytes(self) -> int:
+        """Bytes this message occupies on the wire."""
+        return CONTROL_MESSAGE_BYTES
+
+
+@dataclass
+class ControlMessage:
+    """Generic control signal (go-signals for synchronous training)."""
+
+    sender: int
+    kind: str
+    payload: dict = field(default_factory=dict)
+
+    def wire_bytes(self) -> int:
+        """Bytes this message occupies on the wire."""
+        return CONTROL_MESSAGE_BYTES

@@ -1,0 +1,51 @@
+"""Network resource monitor.
+
+Paper §4.1: "Network resource monitor returns available network
+bandwidths of individual connections to neighbor workers upon the
+request by the partial gradient generation module." Measurements carry
+optional multiplicative noise so the transmission-speed-assurance module
+is exercised with realistic imperfect estimates.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.cluster.network import BandwidthMatrix
+
+__all__ = ["NetworkResourceMonitor"]
+
+
+class NetworkResourceMonitor:
+    """Bandwidth estimates for one worker's outgoing links."""
+
+    def __init__(
+        self,
+        worker: int,
+        matrix: BandwidthMatrix,
+        *,
+        noise: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ):
+        if noise < 0:
+            raise ValueError("noise must be non-negative")
+        self.worker = worker
+        self.matrix = matrix
+        self.noise = noise
+        self.rng = rng
+
+    def available_bandwidth(self, dst: int, t: float) -> float:
+        """Estimated Mbps on the link ``worker -> dst`` at time ``t``."""
+        bw = self.matrix.link(self.worker, dst).bandwidth_at(t)
+        if self.noise > 0 and self.rng is not None:
+            bw *= math.exp(self.rng.normal(0.0, self.noise))
+        return bw
+
+    def snapshot(self, t: float) -> dict[int, float]:
+        """Estimates for every neighbour at once."""
+        return {
+            link.dst: self.available_bandwidth(link.dst, t)
+            for link in self.matrix.out_links(self.worker)
+        }

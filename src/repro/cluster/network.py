@@ -1,0 +1,234 @@
+"""Network model: per-directed-link bandwidth with FIFO serialization.
+
+Each ordered worker pair has a :class:`Link` whose bandwidth follows a
+trace (the ``tc`` substitute). Transfers on a link are serialized: a
+transfer enqueued while another is in flight waits its turn. That
+queueing is what produces the congestion effects behind Fig. 9a (a DKT
+period that is too short floods the links and *slows* training).
+
+The module also ships the paper's Table 2: measured inter-region
+bandwidth (Mbps) between six Amazon regions, used to emulate WAN
+micro-cloud environments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.traces import ConstantTrace
+
+__all__ = ["Link", "BandwidthMatrix", "AWS_REGIONS", "AWS_REGION_BANDWIDTH"]
+
+
+# Paper Table 2: available bandwidth (Mbps) between Amazon regions.
+# Row = source, column = destination, order matches AWS_REGIONS.
+AWS_REGIONS = ("Virginia", "Oregon", "Ireland", "Mumbai", "Seoul", "Sydney")
+
+AWS_REGION_BANDWIDTH = np.array(
+    [
+        #  V    O    I    M   S1   S2
+        [  0, 190, 181,  53,  58,  56],   # Virginia
+        [187,   0,  91,  41,  93,  84],   # Oregon
+        [171,  92,   0,  73,  30,  41],   # Ireland
+        [ 53,  41,  73,   0,  85,  79],   # Mumbai
+        [ 58,  88,  40,  85,   0,  79],   # Seoul
+        [ 56,  84,  36,  79,  72,   0],   # Sydney
+    ],
+    dtype=float,
+)
+
+
+class Link:
+    """A directed communication link with FIFO transfer serialization.
+
+    ``enqueue_transfer(nbytes, t)`` returns the delivery completion time
+    assuming the transfer joins the tail of the link's queue at ``t``.
+    Bandwidth changes mid-transfer are approximated by the bandwidth at
+    transfer start — adequate for piecewise schedules whose phases are
+    long relative to individual transfers (the Table 3 regimes).
+    """
+
+    def __init__(self, src: int, dst: int, bandwidth_mbps, *, latency: float = 0.002):
+        if src == dst:
+            raise ValueError("no self-links")
+        if isinstance(bandwidth_mbps, (int, float)):
+            bandwidth_mbps = ConstantTrace(float(bandwidth_mbps))
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.src = src
+        self.dst = dst
+        self.bandwidth = bandwidth_mbps
+        self.latency = latency
+        self.busy_until = 0.0
+        self.bytes_sent = 0
+        self.transfers = 0
+
+    def bandwidth_at(self, t: float) -> float:
+        """Available bandwidth in Mbps at time ``t``."""
+        return self.bandwidth.value_at(t)
+
+    def transfer_duration(self, nbytes: int, t: float) -> float:
+        """Serialization time for ``nbytes`` at the bandwidth active at ``t``."""
+        if nbytes < 0:
+            raise ValueError("negative payload")
+        mbps = self.bandwidth_at(t)
+        return (nbytes * 8.0) / (mbps * 1e6)
+
+    def enqueue_transfer(self, nbytes: int, t: float) -> float:
+        """Queue a transfer at time ``t``; returns its delivery time."""
+        start = max(t, self.busy_until)
+        duration = self.transfer_duration(nbytes, start)
+        self.busy_until = start + duration
+        self.bytes_sent += int(nbytes)
+        self.transfers += 1
+        return self.busy_until + self.latency
+
+    def queue_delay(self, t: float) -> float:
+        """How long a transfer enqueued now would wait before starting."""
+        return max(0.0, self.busy_until - t)
+
+
+class EgressQueue:
+    """A per-worker NIC egress serializer (shared-egress link model).
+
+    With the default per-link model, a worker's five outgoing transfers
+    proceed in parallel, each at its link's full rate — the behaviour of
+    per-destination ``tc`` classes. Real NICs often bottleneck at the
+    interface: every outgoing transfer shares one egress pipe. This
+    queue models that: transfers from one worker serialize through a
+    single FIFO whose rate is the worker's egress capacity.
+    """
+
+    def __init__(self, worker: int, capacity_mbps):
+        if isinstance(capacity_mbps, (int, float)):
+            capacity_mbps = ConstantTrace(float(capacity_mbps))
+        self.worker = worker
+        self.capacity = capacity_mbps
+        self.busy_until = 0.0
+        self.bytes_sent = 0
+
+    def enqueue(self, nbytes: int, t: float) -> float:
+        """Serialize ``nbytes`` through the NIC; returns the time the
+        last byte leaves the interface."""
+        if nbytes < 0:
+            raise ValueError("negative payload")
+        start = max(t, self.busy_until)
+        rate = self.capacity.value_at(start)
+        self.busy_until = start + (nbytes * 8.0) / (rate * 1e6)
+        self.bytes_sent += int(nbytes)
+        return self.busy_until
+
+
+class BandwidthMatrix:
+    """Constructs the full set of directed links for a cluster.
+
+    ``spec[i][j]`` gives the bandwidth (Mbps, scalar or trace) from
+    worker i to worker j. ``from_worker_capacity`` builds the common
+    Table 3 pattern where each worker has a single capacity applied to
+    all of its links (e.g. "50/50/35/35/20/20" means worker 0's links
+    run at 50 Mbps, worker 4's at 20).
+    """
+
+    def __init__(self, spec, *, latency: float = 0.002, egress=None):
+        self.n = len(spec)
+        if any(len(row) != self.n for row in spec):
+            raise ValueError("bandwidth spec must be square")
+        self.links: dict[tuple[int, int], Link] = {}
+        for i in range(self.n):
+            for j in range(self.n):
+                if i == j:
+                    continue
+                self.links[(i, j)] = Link(i, j, spec[i][j], latency=latency)
+        # Optional shared-egress model: per-worker NIC queues in front
+        # of the per-link pipes.
+        self.egress: dict[int, EgressQueue] | None = None
+        if egress is not None:
+            if len(egress) != self.n:
+                raise ValueError("need one egress capacity per worker")
+            self.egress = {
+                i: EgressQueue(i, cap) for i, cap in enumerate(egress)
+            }
+
+    def enqueue_transfer(self, src: int, dst: int, nbytes: int, t: float) -> float:
+        """Route a transfer through the NIC (if modelled) then the link."""
+        start = t
+        if self.egress is not None:
+            start = self.egress[src].enqueue(nbytes, t)
+        return self.link(src, dst).enqueue_transfer(nbytes, start)
+
+    @classmethod
+    def from_worker_capacity(
+        cls,
+        capacities,
+        *,
+        latency: float = 0.002,
+        shared_egress: bool = False,
+    ) -> "BandwidthMatrix":
+        """Each worker's outgoing links share its capacity value/trace.
+
+        The paper's per-worker Mbps lists (Table 3) describe the
+        capacity of each worker's connections; a transfer i→j is limited
+        by the slower endpoint, so the link gets min(cap_i, cap_j) for
+        scalar capacities and the source's trace otherwise.
+
+        ``shared_egress=True`` additionally serializes each worker's
+        outgoing transfers through a NIC queue at its own capacity —
+        the interface-level contention model (see ``EgressQueue``).
+        """
+        n = len(capacities)
+        spec = []
+        for i in range(n):
+            row = []
+            for j in range(n):
+                ci, cj = capacities[i], capacities[j]
+                if isinstance(ci, (int, float)) and isinstance(cj, (int, float)):
+                    row.append(min(float(ci), float(cj)))
+                else:
+                    row.append(ci)
+            spec.append(row)
+        return cls(
+            spec,
+            latency=latency,
+            egress=list(capacities) if shared_egress else None,
+        )
+
+    @classmethod
+    def from_regions(
+        cls,
+        region_ids,
+        *,
+        lan_mbps: float = 1000.0,
+        matrix: np.ndarray = AWS_REGION_BANDWIDTH,
+        latency: float = 0.002,
+    ) -> "BandwidthMatrix":
+        """Workers placed in regions; same-region pairs get LAN speed.
+
+        ``region_ids[i]`` is the region index of worker i; cross-region
+        links use the Table 2 measurement for that ordered pair.
+        """
+        n = len(region_ids)
+        spec = []
+        for i in range(n):
+            row = []
+            for j in range(n):
+                ri, rj = region_ids[i], region_ids[j]
+                if i == j:
+                    row.append(lan_mbps)
+                elif ri == rj:
+                    row.append(lan_mbps)
+                else:
+                    row.append(float(matrix[ri][rj]))
+            spec.append(row)
+        return cls(spec, latency=latency)
+
+    def link(self, src: int, dst: int) -> Link:
+        """The directed link ``src -> dst``."""
+        return self.links[(src, dst)]
+
+    def out_links(self, src: int) -> list[Link]:
+        """All links leaving worker ``src``."""
+        return [l for (i, _j), l in self.links.items() if i == src]
+
+    def total_bytes(self) -> int:
+        """Total bytes carried by every link so far."""
+        return sum(l.bytes_sent for l in self.links.values())

@@ -1,0 +1,89 @@
+"""Partial peer topologies — gossip-style exchange graphs.
+
+The paper's workers exchange with *all* peers. Decentralized-SGD
+practice often restricts exchange to a sparse overlay (ring, k-regular,
+star) to cap per-worker communication. A :class:`PeerGraph` is that
+overlay: the engine only routes gradients, loss shares, and RCP shares
+along its edges, so DKT and the controllers automatically operate on
+each worker's neighbourhood.
+
+Built on :mod:`networkx` so arbitrary graphs plug in; constructors for
+the common overlays are provided.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+__all__ = ["PeerGraph"]
+
+
+class PeerGraph:
+    """An undirected, connected exchange overlay over the workers."""
+
+    def __init__(self, graph: nx.Graph, n_workers: int):
+        if n_workers < 2:
+            raise ValueError("need at least two workers")
+        if set(graph.nodes) != set(range(n_workers)):
+            raise ValueError(
+                f"graph nodes must be exactly 0..{n_workers - 1}, "
+                f"got {sorted(graph.nodes)}"
+            )
+        if not nx.is_connected(graph):
+            raise ValueError("peer graph must be connected (updates must be able "
+                             "to reach every worker)")
+        if any(graph.has_edge(v, v) for v in graph.nodes):
+            raise ValueError("self-loops are not allowed")
+        self.graph = graph
+        self.n_workers = n_workers
+        self._neighbors = {v: frozenset(graph.neighbors(v)) for v in graph.nodes}
+
+    def neighbors(self, worker: int) -> frozenset[int]:
+        """The workers adjacent to ``worker`` in the overlay."""
+        return self._neighbors[worker]
+
+    def degree(self, worker: int) -> int:
+        """Number of overlay neighbours of ``worker``."""
+        return len(self._neighbors[worker])
+
+    @property
+    def edges(self) -> int:
+        return self.graph.number_of_edges()
+
+    def diameter(self) -> int:
+        """Longest shortest path in the overlay (mixing-speed proxy)."""
+        return int(nx.diameter(self.graph))
+
+    # ------------------------------------------------------------------
+    # Common overlays
+    # ------------------------------------------------------------------
+    @classmethod
+    def full_mesh(cls, n_workers: int) -> "PeerGraph":
+        """The paper's all-to-all exchange."""
+        return cls(nx.complete_graph(n_workers), n_workers)
+
+    @classmethod
+    def ring(cls, n_workers: int) -> "PeerGraph":
+        """Each worker exchanges with its two ring neighbours."""
+        return cls(nx.cycle_graph(n_workers), n_workers)
+
+    @classmethod
+    def k_regular(cls, n_workers: int, k: int, *, seed: int = 0) -> "PeerGraph":
+        """A random connected k-regular overlay (gossip-SGD style)."""
+        if k < 2 or k >= n_workers:
+            raise ValueError("need 2 <= k < n_workers")
+        if (k * n_workers) % 2:
+            raise ValueError("k * n_workers must be even for a k-regular graph")
+        for attempt in range(64):
+            g = nx.random_regular_graph(k, n_workers, seed=seed + attempt)
+            if nx.is_connected(g):
+                return cls(g, n_workers)
+        raise RuntimeError("could not sample a connected k-regular graph")
+
+    @classmethod
+    def star(cls, n_workers: int, *, hub: int = 0) -> "PeerGraph":
+        """Everyone exchanges with one hub (a PS-like degenerate overlay)."""
+        g = nx.Graph()
+        g.add_nodes_from(range(n_workers))
+        g.add_edges_from((hub, v) for v in range(n_workers) if v != hub)
+        return cls(g, n_workers)

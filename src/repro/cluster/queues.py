@@ -1,0 +1,58 @@
+"""Per-worker control and data queues — the Redis substitute.
+
+The prototype uses Redis PUB/SUB and Lists: a *control queue* for
+signalling and a *data queue* for gradients and weights (paper §4.2).
+Here each worker owns one of each; the engine delivers messages into
+them at the simulated arrival time and notifies the worker's handler.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+__all__ = ["MessageQueues"]
+
+
+class MessageQueues:
+    """Control + data FIFO queues for one worker."""
+
+    def __init__(self, owner: int):
+        self.owner = owner
+        self.control: deque[Any] = deque()
+        self.data: deque[Any] = deque()
+        self.delivered_control = 0
+        self.delivered_data = 0
+
+    def push_control(self, msg: Any) -> None:
+        """Deliver a control message into the control queue."""
+        self.control.append(msg)
+        self.delivered_control += 1
+
+    def push_data(self, msg: Any) -> None:
+        """Deliver a data message into the data queue."""
+        self.data.append(msg)
+        self.delivered_data += 1
+
+    def pop_control(self) -> Any | None:
+        """Dequeue the oldest control message (None if empty)."""
+        return self.control.popleft() if self.control else None
+
+    def pop_data(self) -> Any | None:
+        """Dequeue the oldest data message (None if empty)."""
+        return self.data.popleft() if self.data else None
+
+    def drain_data(self) -> list[Any]:
+        """Remove and return every queued data message, oldest first."""
+        out = list(self.data)
+        self.data.clear()
+        return out
+
+    def drain_control(self) -> list[Any]:
+        """Remove and return every queued control message, oldest first."""
+        out = list(self.control)
+        self.control.clear()
+        return out
+
+    def __len__(self) -> int:
+        return len(self.control) + len(self.data)

@@ -1,0 +1,72 @@
+"""Cluster topology: workers, their compute profiles, and the link mesh.
+
+A :class:`ClusterTopology` bundles everything the training engine needs
+to know about the physical substrate: per-worker :class:`ComputeProfile`
+objects and the full directed :class:`BandwidthMatrix`. Construction
+helpers cover the paper's Table 3 patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.compute import ComputeProfile
+from repro.cluster.network import BandwidthMatrix
+
+__all__ = ["ClusterTopology"]
+
+
+@dataclass
+class ClusterTopology:
+    """The physical cluster handed to the engine."""
+
+    compute: list[ComputeProfile]
+    network: BandwidthMatrix
+
+    def __post_init__(self) -> None:
+        if len(self.compute) != self.network.n:
+            raise ValueError(
+                f"compute profiles ({len(self.compute)}) and network size "
+                f"({self.network.n}) disagree"
+            )
+        if len(self.compute) < 2:
+            raise ValueError("a cluster needs at least two workers")
+
+    @property
+    def n_workers(self) -> int:
+        return len(self.compute)
+
+    def peers(self, worker: int) -> list[int]:
+        """Every other worker id in the cluster."""
+        return [i for i in range(self.n_workers) if i != worker]
+
+    @classmethod
+    def build(
+        cls,
+        *,
+        cores,
+        bandwidth,
+        per_core_rate: float = 8.0,
+        overhead: float = 0.05,
+        jitter: float = 0.03,
+        latency: float = 0.002,
+        shared_egress: bool = False,
+    ) -> "ClusterTopology":
+        """Build a fully-connected cluster from Table 3-style specs.
+
+        ``cores`` is a per-worker list of core counts or traces;
+        ``bandwidth`` is a per-worker list of link capacities (Mbps,
+        scalars or traces) applied as in
+        :meth:`BandwidthMatrix.from_worker_capacity`.
+        ``shared_egress`` switches to the NIC-contention link model.
+        """
+        profiles = [
+            ComputeProfile(
+                c, per_core_rate=per_core_rate, overhead=overhead, jitter=jitter
+            )
+            for c in cores
+        ]
+        matrix = BandwidthMatrix.from_worker_capacity(
+            bandwidth, latency=latency, shared_egress=shared_egress
+        )
+        return cls(compute=profiles, network=matrix)

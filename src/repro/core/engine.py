@@ -1,0 +1,442 @@
+"""The event-driven training engine.
+
+Ties together the substrate (clock, compute profiles, links, queues)
+and the per-worker logic: it builds the dataset shards, models, and
+strategies; routes every message through the simulated links; ticks the
+GBS controller; and records the run's time series into a
+:class:`RunResult`.
+
+The engine is deterministic for a ``(config, topology, seed)`` triple —
+every random stream derives from the seed through :class:`RngPool`, and
+the event clock breaks ties by scheduling order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.messages import (
+    ControlMessage,
+    DktRequestMessage,
+    GradientMessage,
+    LossShareMessage,
+    RcpShareMessage,
+    WeightMessage,
+)
+from repro.cluster.monitor import NetworkResourceMonitor
+from repro.cluster.simclock import SimClock
+from repro.cluster.topology import ClusterTopology
+from repro.core.config import TrainConfig
+from repro.core.gbs_controller import GbsController
+from repro.core.worker import Worker
+from repro.nn.datasets import MinibatchSampler, SyntheticImageDataset
+from repro.nn.models import build_model
+from repro.utils.metrics import TimeSeries, accuracy_at_time, mean_and_ci95
+from repro.utils.rng import RngPool
+
+__all__ = ["TrainingEngine", "RunResult"]
+
+# Control-plane propagation delay for GBS announcements (seconds).
+_GBS_ANNOUNCE_DELAY = 0.05
+
+
+@dataclass
+class RunResult:
+    """Everything a run recorded, plus the paper's derived metrics."""
+
+    n_workers: int
+    horizon: float
+    accuracy: list[TimeSeries] = field(default_factory=list)
+    loss: list[TimeSeries] = field(default_factory=list)
+    lbs: list[TimeSeries] = field(default_factory=list)
+    gbs: TimeSeries = field(default_factory=TimeSeries)
+    # Per ordered link: entries per gradient message and the chosen N.
+    link_entries: dict[tuple[int, int], TimeSeries] = field(default_factory=dict)
+    link_chosen_n: dict[tuple[int, int], TimeSeries] = field(default_factory=dict)
+    link_bytes: dict[tuple[int, int], int] = field(default_factory=dict)
+    iterations: list[int] = field(default_factory=list)
+    dkt_merges: int = 0
+    epochs: float = 0.0
+    events: int = 0
+    # Elastic-membership extension: active worker count over time.
+    active_workers: TimeSeries = field(default_factory=TimeSeries)
+    # Utilization: per-worker simulated seconds computing vs. blocked on
+    # the sync gate (diagnoses which policy wastes whose time).
+    compute_time: list[float] = field(default_factory=list)
+    wait_time: list[float] = field(default_factory=list)
+
+    def wait_fraction(self, worker: int) -> float:
+        """Share of the horizon worker ``worker`` spent sync-blocked."""
+        return self.wait_time[worker] / max(self.horizon, 1e-9)
+
+    # -- paper metrics -------------------------------------------------
+    def worker_accuracy_at(self, t: float) -> list[float]:
+        """Per-worker best accuracy achieved by time ``t``."""
+        return [accuracy_at_time(s, t) if len(s) else 0.0 for s in self.accuracy]
+
+    def mean_accuracy_at(self, t: float) -> float:
+        """Metric 1: cluster-average accuracy achieved by time ``t``."""
+        return float(np.mean(self.worker_accuracy_at(t)))
+
+    def accuracy_deviation_at(self, t: float) -> float:
+        """Fig. 17's measure: std-dev of per-worker accuracy at ``t``."""
+        return float(np.std(self.worker_accuracy_at(t)))
+
+    def mean_accuracy_series(self) -> TimeSeries:
+        """Cluster-average best-so-far accuracy on the union time grid."""
+        grid = sorted({t for s in self.accuracy for t in s.times})
+        out = TimeSeries()
+        for t in grid:
+            out.append(t, self.mean_accuracy_at(t))
+        return out
+
+    def time_to_accuracy(self, target: float) -> float | None:
+        """Metric 2: first time the cluster-average accuracy hits ``target``."""
+        series = self.mean_accuracy_series()
+        times, values = series.as_arrays()
+        hits = np.nonzero(values >= target - 1e-12)[0]
+        if hits.size == 0:
+            return None
+        return float(times[hits[0]])
+
+    def final_mean_accuracy(self) -> float:
+        """Cluster-mean accuracy at the end of the run (metric 1)."""
+        return self.mean_accuracy_at(self.horizon)
+
+
+class TrainingEngine:
+    """Builds and runs one distributed training simulation."""
+
+    def __init__(
+        self,
+        config: TrainConfig,
+        topology: ClusterTopology,
+        *,
+        seed: int = 0,
+        dataset: SyntheticImageDataset | None = None,
+        membership=None,
+        peer_graph=None,
+    ):
+        self.config = config
+        self.topology = topology
+        self.n_workers = topology.n_workers
+        self.rng_pool = RngPool(seed)
+        self.clock = SimClock()
+        self.stopped = False
+
+        # Elastic membership (extension; None = the paper's fixed set).
+        self.membership = membership
+        self.active: set[int] = set(range(self.n_workers))
+        if membership is not None:
+            if membership.n_workers != self.n_workers:
+                raise ValueError("membership schedule sized for a different cluster")
+            if membership.min_active() < 2:
+                raise ValueError("schedule drops below two active workers")
+
+        # Partial exchange overlay (extension; None = all-to-all).
+        self.peer_graph = peer_graph
+        if peer_graph is not None and peer_graph.n_workers != self.n_workers:
+            raise ValueError("peer graph sized for a different cluster")
+
+        # Dataset (shared generation, per-worker shards).
+        if dataset is None:
+            dataset = self._build_dataset()
+        self.dataset = dataset
+        shards = dataset.shards(self.n_workers, mode=config.shard_mode)
+        self._eval_x = dataset.test_x[: config.eval_subset]
+        self._eval_y = dataset.test_y[: config.eval_subset]
+
+        # GBS controller (shared deterministic schedule, §3.2).
+        self.gbs_controller = GbsController(
+            config.gbs,
+            initial_gbs=config.initial_lbs * self.n_workers,
+            train_size=dataset.train_size,
+        )
+
+        # Workers.
+        self.workers: list[Worker] = []
+        for w in range(self.n_workers):
+            model = build_model(
+                config.model, self.rng_pool.get("model-init"), **config.model_kwargs
+            )
+            sampler = MinibatchSampler(shards[w], self.rng_pool.get(f"sampler/{w}"))
+            monitor = NetworkResourceMonitor(w, topology.network)
+            strategy = self._build_strategy(w)
+            worker = Worker(
+                worker_id=w,
+                engine=self,
+                model=model,
+                sampler=sampler,
+                strategy=strategy,
+                monitor=monitor,
+                config=config,
+                rng=self.rng_pool.get(f"worker/{w}"),
+            )
+            strategy.setup(worker)
+            self.workers.append(worker)
+
+        # Result recording.
+        self.result = RunResult(n_workers=self.n_workers, horizon=0.0)
+        self.result.accuracy = [TimeSeries() for _ in range(self.n_workers)]
+        self.result.loss = [TimeSeries() for _ in range(self.n_workers)]
+        self.result.lbs = [TimeSeries() for _ in range(self.n_workers)]
+        self.result.iterations = [0] * self.n_workers
+        self.result.gbs.append(0.0, self.gbs_controller.gbs)
+        self.result.active_workers.append(0.0, len(self.active))
+        for w in range(self.n_workers):
+            self.result.lbs[w].append(0.0, config.initial_lbs)
+
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _build_dataset(self) -> SyntheticImageDataset:
+        rng = self.rng_pool.get("dataset")
+        cfg = self.config
+        if cfg.dataset == "cifar_like":
+            return SyntheticImageDataset.cifar_like(
+                rng,
+                train_size=cfg.train_size,
+                test_size=cfg.test_size,
+                **cfg.dataset_kwargs,
+            )
+        if cfg.dataset == "imagenet_like":
+            return SyntheticImageDataset.imagenet_like(
+                rng,
+                train_size=cfg.train_size,
+                test_size=cfg.test_size,
+                **cfg.dataset_kwargs,
+            )
+        raise ValueError(f"unknown dataset preset {cfg.dataset!r}")
+
+    def _build_strategy(self, worker_id: int):
+        # Imported lazily: the registry depends on core.api.
+        from repro.baselines.registry import create_strategy
+
+        return create_strategy(self.config, worker_id)
+
+    # ------------------------------------------------------------------
+    # Physics queries (used by workers)
+    # ------------------------------------------------------------------
+    def iteration_duration(self, worker: int, batch: int, t: float) -> float:
+        """Simulated duration of one gradient iteration (compute model)."""
+        return self.topology.compute[worker].iter_time(
+            batch, t, self.rng_pool.get(f"jitter/{worker}")
+        )
+
+    # ------------------------------------------------------------------
+    # Message transport (everything crosses the simulated links)
+    # ------------------------------------------------------------------
+    def _deliver(self, src: int, dst: int, nbytes: int, handler, msg) -> None:
+        if dst not in self.active:
+            return  # destination is offline; the message is lost
+        arrival = self.topology.network.enqueue_transfer(
+            src, dst, nbytes, self.clock.now
+        )
+        # Membership can change while the message is in flight; check
+        # again at delivery time.
+        self.clock.schedule(arrival, self._deliver_checked, dst, handler, msg)
+
+    def _deliver_checked(self, dst: int, handler, msg) -> None:
+        if dst in self.active:
+            handler(msg)
+
+    def send_gradients(
+        self, src: int, dst: int, msg: GradientMessage, *, chosen_n: float | None
+    ) -> None:
+        """Ship a gradient message over the simulated link, recording stats."""
+        nbytes = msg.wire_bytes()
+        self._deliver(src, dst, nbytes, self.workers[dst].on_gradient_message, msg)
+        if self.config.record_link_stats:
+            key = (src, dst)
+            self.result.link_bytes[key] = self.result.link_bytes.get(key, 0) + nbytes
+            self.result.link_entries.setdefault(key, TimeSeries()).append(
+                self.clock.now, msg.num_entries()
+            )
+            if chosen_n is not None:
+                self.result.link_chosen_n.setdefault(key, TimeSeries()).append(
+                    self.clock.now, chosen_n
+                )
+
+    def send_control(self, src: int, dst: int, msg) -> None:
+        """Route a control message to the destination worker's handler."""
+        if isinstance(msg, DktRequestMessage):
+            handler = self.workers[dst].on_dkt_request
+        elif isinstance(msg, LossShareMessage):
+            handler = self.workers[dst].on_loss_share
+        elif isinstance(msg, RcpShareMessage):
+            handler = self.workers[dst].on_rcp_share
+        elif isinstance(msg, ControlMessage):
+            handler = self.workers[dst].queues.push_control
+        else:
+            raise TypeError(f"not a control message: {type(msg).__name__}")
+        self._deliver(src, dst, msg.wire_bytes(), handler, msg)
+
+    def send_weights(self, src: int, dst: int, msg: WeightMessage) -> None:
+        """Ship a full weight snapshot (DKT payload) over the link."""
+        self._deliver(src, dst, msg.wire_bytes(), self.workers[dst].on_weight_message, msg)
+
+    def active_peers(self, worker: int) -> list[int]:
+        """The peers a worker exchanges with: active, and (when a
+        partial overlay is configured) adjacent in the peer graph."""
+        peers = (w for w in self.active if w != worker)
+        if self.peer_graph is not None:
+            neighbors = self.peer_graph.neighbors(worker)
+            peers = (w for w in peers if w in neighbors)
+        return sorted(peers)
+
+    def broadcast_rcp(self, src: int, rcp: float) -> None:
+        """Share a worker's measured RCP with every active peer."""
+        for dst in self.active_peers(src):
+            self.send_control(src, dst, RcpShareMessage(sender=src, rcp=rcp))
+
+    def broadcast_loss_share(self, src: int, iteration: int, avg_loss: float) -> None:
+        """Share a worker's trailing-average loss with every active peer."""
+        for dst in self.active_peers(src):
+            self.send_control(
+                src,
+                dst,
+                LossShareMessage(sender=src, iteration=iteration, avg_loss=avg_loss),
+            )
+
+    # ------------------------------------------------------------------
+    # Elastic membership (extension)
+    # ------------------------------------------------------------------
+    def _apply_membership_event(self, event) -> None:
+        from repro.cluster.messages import DktRequestMessage
+
+        worker = self.workers[event.worker]
+        if event.action == "leave":
+            self.active.discard(event.worker)
+            worker.active = False
+        else:
+            self.active.add(event.worker)
+            worker.active = True
+            # Resync the rejoiner's iteration counter so bounded/lockstep
+            # policies do not stall the cluster while it replays history.
+            resume = max(
+                (self.workers[w].iteration for w in self.active), default=0
+            )
+            worker.iteration = max(worker.iteration, resume)
+            worker.sync_state.iteration = worker.iteration
+        self.result.active_workers.append(self.clock.now, len(self.active))
+        for w in self.active:
+            self.workers[w].on_membership_change(self.active)
+        if event.action == "join":
+            # Bootstrap: pull fresh weights from the best-known active
+            # peer (DKT mechanics double as the join protocol), then
+            # resume training.
+            target = worker.dkt.pull_target()
+            if target is None or target not in self.active:
+                candidates = [w for w in self.active if w != event.worker]
+                target = candidates[0]
+            self.send_control(
+                event.worker,
+                target,
+                DktRequestMessage(sender=event.worker, iteration=worker.iteration),
+            )
+            worker.try_start_iteration()
+
+    # ------------------------------------------------------------------
+    # Progress tracking & the GBS tick
+    # ------------------------------------------------------------------
+    def global_epoch(self) -> float:
+        """Cluster-wide training progress: samples drawn / training size."""
+        drawn = sum(w.sampler.samples_drawn for w in self.workers)
+        return drawn / self.dataset.train_size
+
+    def _gbs_tick(self) -> None:
+        if self.stopped:
+            return
+        old = self.gbs_controller.gbs
+        new = self.gbs_controller.maybe_update(self.global_epoch())
+        if new != old:
+            self.result.gbs.append(self.clock.now, new)
+            for w in self.workers:
+                # Announcement reaches every worker after a short
+                # control-plane delay.
+                self.clock.schedule_in(_GBS_ANNOUNCE_DELAY, w.set_gbs, new)
+        self.clock.schedule_in(self.config.gbs.update_period_s, self._gbs_tick)
+
+    # ------------------------------------------------------------------
+    # Recording hooks (called by workers)
+    # ------------------------------------------------------------------
+    def record_loss(self, worker: int, loss: float) -> None:
+        """Record one iteration's training loss (and count the iteration)."""
+        self.result.loss[worker].append(self.clock.now, loss)
+        self.result.iterations[worker] += 1
+
+    def record_lbs(self, worker: int, lbs: int) -> None:
+        """Record a local-batch-size change for the Fig. 6/19 series."""
+        self.result.lbs[worker].append(self.clock.now, lbs)
+
+    def record_dkt_merge(self, worker: int) -> None:
+        """Count one applied direct-knowledge-transfer merge."""
+        self.result.dkt_merges += 1
+
+    def evaluate_worker(self, worker: int) -> None:
+        """Out-of-band accuracy measurement (costs no simulated time)."""
+        _, acc = self.workers[worker].model.evaluate(self._eval_x, self._eval_y)
+        self.result.accuracy[worker].append(self.clock.now, acc)
+
+    # ------------------------------------------------------------------
+    # Run control
+    # ------------------------------------------------------------------
+    def _start(self) -> None:
+        self._started = True
+        if self.config.gbs.enabled:
+            self.clock.schedule_in(self.config.gbs.update_period_s, self._gbs_tick)
+        if self.membership is not None:
+            for event in self.membership.events:
+                self.clock.schedule(event.time, self._apply_membership_event, event)
+        for w in self.workers:
+            if self.config.lbs.enabled:
+                cost = w.run_profiling()
+                self.clock.schedule_in(cost, w.try_start_iteration)
+            else:
+                w.try_start_iteration()
+
+    def run(self, horizon: float) -> RunResult:
+        """Advance the simulation to ``horizon`` seconds and finalize."""
+        self.advance_to(horizon)
+        return self.finalize()
+
+    def advance_to(self, horizon: float) -> None:
+        """Pump simulated events up to ``horizon`` (without finalizing)."""
+        if not self._started:
+            self._start()
+        self.clock.run_until(horizon)
+
+    def run_epochs(self, target_epochs: float, *, max_time: float = 1e6) -> RunResult:
+        """Run until the cluster has processed ``target_epochs`` of data."""
+        if not self._started:
+            self._start()
+        while self.global_epoch() < target_epochs and self.clock.now < max_time:
+            nxt = self.clock.peek_time()
+            if nxt is None:
+                break
+            self.clock.run_until(
+                min(max_time, max(nxt, self.clock.now + 1.0)), max_events=10_000
+            )
+        return self.finalize()
+
+    def finalize(self) -> RunResult:
+        """Stop the run, take final accuracy samples, and close the books."""
+        self.stopped = True
+        # Final accuracy sample for every worker at the stop time.
+        for w in range(self.n_workers):
+            self.evaluate_worker(w)
+        self.result.horizon = self.clock.now
+        for w in self.workers:
+            # Close out a wait interval still open at the horizon.
+            wait = w.wait_time
+            if w.waiting and w._wait_started is not None:
+                wait += self.clock.now - w._wait_started
+            self.result.wait_time.append(wait)
+            self.result.compute_time.append(w.compute_time)
+        self.result.epochs = self.global_epoch()
+        self.result.events = self.clock.events_processed
+        return self.result

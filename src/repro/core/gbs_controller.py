@@ -1,0 +1,73 @@
+"""Global batch size controller (§3.2).
+
+Grows GBS in two phases once training has passed ``start_epoch``:
+
+* **warm-up** — arithmetic progression ``GBS += C_warmup`` until GBS
+  exceeds 1% of the training-set size;
+* **speed-up** — geometric progression ``GBS *= C_speedup`` until GBS
+  exceeds 10% of the training-set size, then stops for good.
+
+The controller is a pure, deterministic function of the training
+progress it has been shown, so every worker computing it from shared
+progress reaches the same GBS without central coordination.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import GbsConfig
+
+__all__ = ["GbsController"]
+
+
+class GbsController:
+    """Stateful GBS schedule."""
+
+    WARMUP = "warmup"
+    SPEEDUP = "speedup"
+    DONE = "done"
+
+    def __init__(self, config: GbsConfig, *, initial_gbs: int, train_size: int):
+        if initial_gbs < 1:
+            raise ValueError("initial GBS must be >= 1")
+        if train_size < 1:
+            raise ValueError("train_size must be >= 1")
+        self.config = config
+        self.train_size = train_size
+        self.gbs = int(initial_gbs)
+        self.phase = self.WARMUP
+        self._warmup_cap = config.warmup_cap_frac * train_size
+        self._speedup_cap = config.speedup_cap_frac * train_size
+        self._last_growth_epoch: float | None = None
+        # A GBS already past a cap skips the corresponding phase.
+        self._advance_phase_if_capped()
+
+    def _advance_phase_if_capped(self) -> None:
+        if self.phase == self.WARMUP and self.gbs > self._warmup_cap:
+            self.phase = self.SPEEDUP
+        if self.phase == self.SPEEDUP and self.gbs > self._speedup_cap:
+            self.phase = self.DONE
+
+    def maybe_update(self, epoch: float) -> int:
+        """One controller tick at training progress ``epoch``.
+
+        Returns the (possibly unchanged) GBS. Ticks before
+        ``start_epoch`` and after the speed-up cap are no-ops.
+        """
+        if not self.config.enabled:
+            return self.gbs
+        if epoch < self.config.start_epoch or self.phase == self.DONE:
+            return self.gbs
+        gap = self.config.min_epochs_between_updates
+        if (
+            gap > 0
+            and self._last_growth_epoch is not None
+            and epoch - self._last_growth_epoch < gap
+        ):
+            return self.gbs
+        self._last_growth_epoch = epoch
+        if self.phase == self.WARMUP:
+            self.gbs += self.config.warmup_increment
+        elif self.phase == self.SPEEDUP:
+            self.gbs = int(round(self.gbs * self.config.speedup_factor))
+        self._advance_phase_if_capped()
+        return self.gbs

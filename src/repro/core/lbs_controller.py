@@ -1,0 +1,114 @@
+"""Local batch size controller (§3.2).
+
+Measures each worker's *relative compute power* (RCP) — "a maximum local
+batch size that worker i can process during a given unit time" — by
+fitting iteration time against batch size with linear regression over
+timed probe iterations, then splits the GBS proportionally (Eq. 5):
+
+    LBS_i = GBS * RCP_i / Σ_j RCP_j
+
+``allocate_lbs`` performs the proportional split with largest-remainder
+rounding so that Σ LBS_i == GBS exactly (the paper's invariant).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.config import LbsConfig
+from repro.utils.linreg import fit_line
+
+__all__ = ["LbsController", "allocate_lbs"]
+
+
+def allocate_lbs(
+    gbs: int, rcps: Sequence[float], *, min_lbs: int = 1
+) -> list[int]:
+    """Split ``gbs`` across workers proportionally to their RCPs.
+
+    Largest-remainder rounding preserves ``sum(result) == gbs``; every
+    worker receives at least ``min_lbs`` (taken from the largest shares
+    if the proportional share rounds to zero).
+    """
+    n = len(rcps)
+    if n == 0:
+        raise ValueError("no workers")
+    if gbs < n * min_lbs:
+        raise ValueError(f"GBS {gbs} too small for {n} workers at min_lbs={min_lbs}")
+    arr = np.asarray(rcps, dtype=float)
+    if (arr < 0).any():
+        raise ValueError("RCPs must be non-negative")
+    total = arr.sum()
+    if total <= 0:
+        # No information: fall back to an even split.
+        arr = np.ones(n)
+        total = float(n)
+
+    raw = gbs * arr / total
+    base = np.floor(raw).astype(int)
+    remainder = gbs - int(base.sum())
+    # Hand out the leftover units to the largest fractional parts
+    # (ties broken by worker index for determinism).
+    frac_order = np.argsort(-(raw - base), kind="stable")
+    base[frac_order[:remainder]] += 1
+
+    # Enforce the floor, stealing from the largest allocations.
+    for i in range(n):
+        while base[i] < min_lbs:
+            donor = int(np.argmax(base))
+            if base[donor] <= min_lbs:
+                raise ValueError("cannot satisfy min_lbs for all workers")
+            base[donor] -= 1
+            base[i] += 1
+    assert int(base.sum()) == gbs
+    return [int(b) for b in base]
+
+
+class LbsController:
+    """Per-worker RCP measurement.
+
+    ``profile`` runs timed probe iterations through a caller-supplied
+    ``probe(batch_size) -> seconds`` function (in the simulator this
+    consumes simulated time; on real hardware it would wrap a training
+    step), fits the time-vs-batch line, and returns the RCP estimate.
+    """
+
+    def __init__(self, config: LbsConfig):
+        self.config = config
+        self.last_fit = None
+        self.last_rcp: float | None = None
+
+    def profile(self, probe: Callable[[int], float]) -> float:
+        """Measure RCP with the configured probe schedule."""
+        xs: list[float] = []
+        ys: list[float] = []
+        for b in self.config.probe_batches:
+            for _ in range(self.config.probe_repeats):
+                xs.append(float(b))
+                ys.append(float(probe(int(b))))
+        fit = fit_line(xs, ys)
+        self.last_fit = fit
+        self.last_rcp = self._rcp_from_fit(fit, xs, ys)
+        return self.last_rcp
+
+    def _rcp_from_fit(self, fit, xs: list[float], ys: list[float]) -> float:
+        """Invert the fitted line at the unit time.
+
+        Falls back to a direct throughput estimate when the fit is
+        degenerate (noise can produce a non-positive slope on a very
+        fast worker).
+        """
+        unit = self.config.unit_time_s
+        if fit.slope > 1e-9:
+            rcp = fit.invert(unit)
+            if rcp >= 1.0:
+                return float(rcp)
+        # Fallback: samples/sec from the largest probe, scaled to unit time.
+        best = max(x / y for x, y in zip(xs, ys) if y > 0)
+        return max(1.0, best * unit)
+
+    def probe_cost(self, probe_times: Sequence[float]) -> float:
+        """Total simulated time a profiling pass consumed."""
+        return float(sum(probe_times))

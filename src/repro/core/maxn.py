@@ -1,0 +1,67 @@
+"""The Max N data-quality-assurance algorithm (§3.3).
+
+Max N keeps, *per weight variable*, the gradient entries whose absolute
+value lies in the top-N% band of that variable's maximum:
+
+    keep i  ⇔  |g_i| >= (1 − N/100) · max|g|
+
+so N = 100 keeps everything (whole-gradient exchange) and N → 0 keeps
+only the largest entry. This is the reading consistent with all three of
+the paper's statements about N (see DESIGN.md §2). Each weight variable
+is filtered independently because "each weight variable has their own
+value distribution and convergence speed".
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+__all__ = ["select_max_n", "select_payload", "selection_count"]
+
+
+def _threshold(max_abs: float, n_percent: float) -> float:
+    return (1.0 - n_percent / 100.0) * max_abs
+
+
+def select_max_n(grad: np.ndarray, n_percent: float) -> tuple[np.ndarray, np.ndarray]:
+    """Select the Max-N entries of one variable's gradient.
+
+    Returns ``(flat_indices, values)``; the max-magnitude entry is
+    always included (for any valid N the band contains the max).
+    """
+    if not 0.0 < n_percent <= 100.0:
+        raise ValueError(f"N must be in (0, 100], got {n_percent}")
+    flat = grad.reshape(-1)
+    mags = np.abs(flat)
+    max_abs = float(mags.max(initial=0.0))
+    if max_abs == 0.0:
+        # A zero gradient carries no information; send nothing.
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=flat.dtype)
+    idx = np.nonzero(mags >= _threshold(max_abs, n_percent))[0]
+    return idx.astype(np.int64), flat[idx]
+
+
+def selection_count(sorted_norm_mags: np.ndarray, n_percent: float) -> int:
+    """Entries Max N would keep, given ascending-sorted ``|g|/max|g|``.
+
+    Used by the transmission-speed-assurance module to evaluate payload
+    sizes for many candidate N without re-scanning the gradient.
+    """
+    if sorted_norm_mags.size == 0:
+        return 0
+    thr = 1.0 - n_percent / 100.0
+    return int(sorted_norm_mags.size - np.searchsorted(sorted_norm_mags, thr, side="left"))
+
+
+def select_payload(
+    grads: Mapping[str, np.ndarray], n_percent: float
+) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    """Apply Max N per variable; variables with empty selections are dropped."""
+    payload: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for name, g in grads.items():
+        idx, vals = select_max_n(g, n_percent)
+        if idx.size:
+            payload[name] = (idx, vals)
+    return payload

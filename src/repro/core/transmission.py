@@ -1,0 +1,238 @@
+"""Transmission speed assurance (§3.3).
+
+Per link and per iteration, pick the **largest** Max-N value whose
+encoded payload fits the link's byte budget
+
+    budget_j = BW_net_j / Iter_com_i
+
+— the bytes the link to worker j can carry during the time worker i
+takes to produce the next gradient (``Iter_com_i`` = iterations per unit
+time). The chosen N is floored at ``n_min`` (the data-quality floor,
+0.85 in the paper's runs) and capped at ``n_max``.
+
+Performance: evaluating a candidate N must not re-scan the gradient —
+models can have single variables with ~10⁶ entries and this runs every
+iteration. We build one magnitude histogram per variable (one O(n)
+pass) whose suffix-cumulative counts answer "how many entries fall in
+the top-N% band" in O(1), *rounding the count up* (bin-granularity), so
+a candidate judged feasible is guaranteed feasible exactly. A bisection
+over N then finds the largest feasible value.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.cluster.messages import VARIABLE_HEADER_BYTES
+from repro.core.config import MaxNConfig
+from repro.core.maxn import select_payload
+
+__all__ = ["fit_n_to_budget", "TransmissionPlanner"]
+
+_BINS = 4096
+
+
+def _suffix_histograms(
+    grads: Mapping[str, np.ndarray]
+) -> list[np.ndarray | None]:
+    """Per variable: suffix counts of normalized-magnitude bins.
+
+    ``suffix[i]`` = number of entries with ``|g|/max|g| >= i / _BINS``
+    (so ``suffix[0] == size`` and ``suffix[_BINS]`` counts only the
+    max-magnitude bin's upper edge, i.e. 0 by construction of the
+    padding). ``None`` marks an all-zero gradient (nothing to send).
+    """
+    out: list[np.ndarray | None] = []
+    for g in grads.values():
+        mags = np.abs(g.reshape(-1))
+        mx = float(mags.max(initial=0.0))
+        if mx == 0.0:
+            out.append(None)
+            continue
+        # Direct quantize + bincount: same bins as np.histogram over
+        # (0, mx) but ~3x faster on large variables (this runs every
+        # training iteration). Normalize before scaling so subnormal
+        # maxima cannot overflow the scale factor.
+        bins = np.minimum(
+            ((mags / mx) * _BINS).astype(np.int64), _BINS - 1
+        )
+        hist = np.bincount(bins, minlength=_BINS)
+        suffix = np.zeros(_BINS + 1, dtype=np.int64)
+        suffix[:_BINS] = np.cumsum(hist[::-1])[::-1]
+        out.append(suffix)
+    return out
+
+
+def _upper_bound_bytes(suffixes: list[np.ndarray | None], n: float) -> int:
+    """An upper bound on the Max-N payload size (never an underestimate).
+
+    The threshold ``(1 − N/100)·max`` is rounded *down* to its bin edge,
+    so the per-variable count can only overcount — a feasibility verdict
+    from this bound is always exact-feasible.
+    """
+    thr = 1.0 - n / 100.0
+    total = 0
+    for suffix in suffixes:
+        if suffix is None:
+            continue
+        idx = min(_BINS, max(0, int(thr * _BINS)))
+        cnt = int(suffix[idx])
+        if cnt:
+            total += VARIABLE_HEADER_BYTES + 8 * cnt
+    return total
+
+
+def fit_n_to_budget(
+    grads: Mapping[str, np.ndarray],
+    budget_bytes: float,
+    *,
+    n_min: float = 0.85,
+    n_max: float = 100.0,
+    precision: float = 0.01,
+) -> float:
+    """Largest N in ``[n_min, n_max]`` whose payload fits ``budget_bytes``.
+
+    If even the ``n_min`` selection exceeds the budget, ``n_min`` is
+    returned anyway — the quality floor wins over the speed goal, as in
+    the paper ("the minimum N for max N algorithm [is] 0.85").
+    """
+    if not 0 < n_min <= n_max <= 100.0:
+        raise ValueError("need 0 < n_min <= n_max <= 100")
+    suffixes = _suffix_histograms(grads)
+    if _upper_bound_bytes(suffixes, n_max) <= budget_bytes:
+        return n_max
+    if _upper_bound_bytes(suffixes, n_min) > budget_bytes:
+        return n_min
+    lo, hi = n_min, n_max  # feasible at lo, infeasible at hi
+    while hi - lo > precision:
+        mid = 0.5 * (lo + hi)
+        if _upper_bound_bytes(suffixes, mid) <= budget_bytes:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def fit_level_to_budget(
+    selector,
+    grads: Mapping[str, np.ndarray],
+    budget_bytes: float,
+    *,
+    level_min: float = 0.85,
+    level_max: float = 100.0,
+    precision: float = 0.01,
+) -> float:
+    """Generic budget fit for any :class:`GradientSelector`.
+
+    Bisection over the quality level using the selector's exact
+    ``count_at``; the Max-N fast path (:func:`fit_n_to_budget`) should
+    be preferred when the selector is Max N itself.
+    """
+    if not 0 < level_min <= level_max <= 100.0:
+        raise ValueError("need 0 < level_min <= level_max <= 100")
+
+    def bytes_at(level: float) -> int:
+        total = 0
+        for g in grads.values():
+            cnt = selector.count_at(g, level)
+            if cnt:
+                total += VARIABLE_HEADER_BYTES + 8 * cnt
+        return total
+
+    if bytes_at(level_max) <= budget_bytes:
+        return level_max
+    if bytes_at(level_min) > budget_bytes:
+        return level_min
+    lo, hi = level_min, level_max
+    while hi - lo > precision:
+        mid = 0.5 * (lo + hi)
+        if bytes_at(mid) <= budget_bytes:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+class TransmissionPlanner:
+    """Builds per-link partial-gradient payloads for one worker.
+
+    ``plan(grads, bandwidths_mbps, iter_time_s)`` returns, per
+    destination, the chosen N and the sparse payload. A fixed-N config
+    (Fig. 7 / Fig. 16 studies) bypasses the budget fit entirely. When
+    the config names a non-default selector, the generic fit over that
+    selector replaces the Max-N histogram fast path.
+    """
+
+    def __init__(self, config: MaxNConfig, *, selector=None):
+        self.config = config
+        if selector is None and config.selector != "maxn":
+            from repro.core.selectors import make_selector
+
+            selector = make_selector(
+                config.selector, rng=np.random.default_rng(0)
+            )
+        self.selector = selector  # None = the Max-N fast path
+
+    def budget_bytes(self, bandwidth_mbps: float, iter_time_s: float) -> float:
+        """``BW_net_j / Iter_com_i`` expressed in bytes per iteration.
+
+        Scaled by the config's ``budget_fraction`` (1.0 in the paper's
+        per-link shaping model; 1/peers under a shared NIC).
+        """
+        if bandwidth_mbps <= 0 or iter_time_s <= 0:
+            raise ValueError("bandwidth and iteration time must be positive")
+        bytes_per_sec = bandwidth_mbps * 1e6 / 8.0
+        return bytes_per_sec * iter_time_s * self.config.budget_fraction
+
+    def plan(
+        self,
+        grads: Mapping[str, np.ndarray],
+        bandwidths_mbps: Mapping[int, float],
+        iter_time_s: float,
+    ) -> dict[int, tuple[float, dict[str, tuple[np.ndarray, np.ndarray]]]]:
+        """Per-destination ``(chosen_n, sparse_payload)``.
+
+        Destinations whose links share a bandwidth value reuse one
+        selection (payloads are identical for identical N).
+        """
+        plans: dict[int, tuple[float, dict]] = {}
+        cache: dict[float, tuple[float, dict]] = {}
+        for dst, bw in bandwidths_mbps.items():
+            key = round(bw, 6)
+            if self.config.fixed_n is None and key in cache:
+                plans[dst] = cache[key]
+                continue
+            if self.config.fixed_n is not None:
+                n = self.config.fixed_n
+            elif self.selector is not None:
+                n = fit_level_to_budget(
+                    self.selector,
+                    grads,
+                    self.budget_bytes(bw, iter_time_s),
+                    level_min=self.config.n_min,
+                    level_max=self.config.n_max,
+                )
+            else:
+                n = fit_n_to_budget(
+                    grads,
+                    self.budget_bytes(bw, iter_time_s),
+                    n_min=self.config.n_min,
+                    n_max=self.config.n_max,
+                )
+            payload = self._select(grads, n)
+            plans[dst] = (n, payload)
+            if self.config.fixed_n is None:
+                cache[key] = plans[dst]
+        return plans
+
+    def _select(self, grads: Mapping[str, np.ndarray], level: float) -> dict:
+        if self.selector is None:
+            return select_payload(grads, level)
+        payload = {}
+        for name, g in grads.items():
+            idx, vals = self.selector.select(g, level)
+            if idx.size:
+                payload[name] = (idx, vals)
+        return payload

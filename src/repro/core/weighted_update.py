@@ -1,0 +1,30 @@
+"""Weighted model update (§3.2, Eq. 7).
+
+Gradients from workers with different local batch sizes are not equally
+trustworthy: larger samples give statistically tighter means. DLion
+scales worker j's gradient, as applied at worker k, by the *dynamic
+batching weight* ``db_j^k = LBS_j / LBS_k``:
+
+    w_{t+1}^k = w_t^k − η (1/n) Σ_j db_j^k g_t^j
+
+When every worker uses the same LBS, ``db == 1`` and the rule reduces to
+the classic distributed update (Eq. 4) — a property the test suite
+checks explicitly.
+"""
+
+from __future__ import annotations
+
+__all__ = ["dynamic_batching_weight"]
+
+
+def dynamic_batching_weight(lbs_sender: int, lbs_receiver: int, *, enabled: bool = True) -> float:
+    """The confidence coefficient ``db_j^k`` of Eq. 7.
+
+    ``enabled=False`` (the DLion-no-WU ablation, Fig. 14) always
+    returns 1, i.e. Eq. 4 behaviour.
+    """
+    if lbs_sender < 1 or lbs_receiver < 1:
+        raise ValueError("batch sizes must be >= 1")
+    if not enabled:
+        return 1.0
+    return lbs_sender / lbs_receiver

@@ -1,0 +1,37 @@
+"""Experiment harness: Table 3 environments, runners, figure drivers.
+
+* :mod:`environments` — the emulated micro-cloud environments of
+  Table 3 (plus the Table 2 WAN matrix already in ``repro.cluster``).
+* :mod:`runner` — builds topology + config for (environment, system),
+  applies the wire-size bandwidth scaling and the time-axis scaling,
+  and runs seeds.
+* :mod:`figures` — one driver per paper figure; each returns the rows
+  the benchmark prints and EXPERIMENTS.md records.
+* :mod:`reporting` — ASCII tables.
+"""
+
+from repro.experiments.environments import ENVIRONMENTS, EnvSpec, get_environment
+from repro.experiments.runner import (
+    SYSTEM_VARIANTS,
+    RunSpec,
+    Workload,
+    cpu_workload,
+    gpu_workload,
+    run_experiment,
+    run_seeds,
+)
+from repro.experiments.reporting import format_table
+
+__all__ = [
+    "ENVIRONMENTS",
+    "EnvSpec",
+    "get_environment",
+    "SYSTEM_VARIANTS",
+    "RunSpec",
+    "Workload",
+    "cpu_workload",
+    "gpu_workload",
+    "run_experiment",
+    "run_seeds",
+    "format_table",
+]

@@ -1,0 +1,118 @@
+"""Run analysis: summaries and statistical comparisons.
+
+``summarize`` condenses a :class:`~repro.core.engine.RunResult` into the
+quantities the paper discusses (throughput, communication volume,
+accuracy metrics); ``welch_comparison`` applies Welch's t-test across
+seeds to say whether one system's accuracy advantage over another is
+statistically meaningful — the honest version of eyeballing overlapping
+error bars.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.core.engine import RunResult
+
+__all__ = ["RunSummary", "summarize", "welch_comparison", "link_utilization"]
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Headline numbers for one run."""
+
+    horizon: float
+    final_accuracy: float
+    accuracy_deviation: float
+    time_to_70: float | None
+    total_iterations: int
+    iterations_per_second: float
+    epochs: float
+    total_megabytes: float
+    megabytes_per_second: float
+    dkt_merges: int
+
+    def rows(self) -> list[list]:
+        """The summary as printable (label, value) rows."""
+        return [
+            ["final accuracy", self.final_accuracy],
+            ["worker accuracy std", self.accuracy_deviation],
+            ["time to 70% (s)", self.time_to_70],
+            ["iterations (total)", self.total_iterations],
+            ["iterations / s", self.iterations_per_second],
+            ["epochs", self.epochs],
+            ["wire volume (MB)", self.total_megabytes],
+            ["wire rate (MB/s)", self.megabytes_per_second],
+            ["DKT merges", self.dkt_merges],
+        ]
+
+
+def summarize(result: RunResult, *, target: float = 0.70) -> RunSummary:
+    """Condense a run into its headline numbers."""
+    horizon = max(result.horizon, 1e-9)
+    total_iters = int(sum(result.iterations))
+    total_mb = sum(result.link_bytes.values()) / 1e6
+    return RunSummary(
+        horizon=result.horizon,
+        final_accuracy=result.final_mean_accuracy(),
+        accuracy_deviation=result.accuracy_deviation_at(result.horizon),
+        time_to_70=result.time_to_accuracy(target),
+        total_iterations=total_iters,
+        iterations_per_second=total_iters / horizon,
+        epochs=result.epochs,
+        total_megabytes=total_mb,
+        megabytes_per_second=total_mb / horizon,
+        dkt_merges=result.dkt_merges,
+    )
+
+
+def link_utilization(result: RunResult) -> dict[tuple[int, int], float]:
+    """Average MB/s carried per directed link over the run."""
+    horizon = max(result.horizon, 1e-9)
+    return {
+        link: nbytes / 1e6 / horizon for link, nbytes in result.link_bytes.items()
+    }
+
+
+@dataclass(frozen=True)
+class WelchComparison:
+    """Result of a two-sample accuracy comparison."""
+
+    mean_a: float
+    mean_b: float
+    t_statistic: float
+    p_value: float
+
+    @property
+    def significant_at_05(self) -> bool:
+        return self.p_value < 0.05
+
+
+def welch_comparison(
+    accuracies_a, accuracies_b
+) -> WelchComparison:
+    """Welch's unequal-variance t-test on per-seed final accuracies.
+
+    Degenerate inputs (single seeds or zero variance in both samples)
+    yield ``p = 1.0`` when the means coincide and ``p = 0.0`` when they
+    cannot (both-zero-variance, different means) — the limits of the
+    test, stated rather than crashed on.
+    """
+    a = np.asarray(list(accuracies_a), dtype=float)
+    b = np.asarray(list(accuracies_b), dtype=float)
+    if a.size == 0 or b.size == 0:
+        raise ValueError("need at least one sample on each side")
+    if a.size == 1 and b.size == 1:
+        same = math.isclose(float(a[0]), float(b[0]))
+        return WelchComparison(float(a[0]), float(b[0]), 0.0 if same else math.inf,
+                               1.0 if same else 0.0)
+    if a.std() == 0.0 and b.std() == 0.0:
+        same = math.isclose(float(a.mean()), float(b.mean()))
+        return WelchComparison(float(a.mean()), float(b.mean()),
+                               0.0 if same else math.inf, 1.0 if same else 0.0)
+    t, p = scipy_stats.ttest_ind(a, b, equal_var=False)
+    return WelchComparison(float(a.mean()), float(b.mean()), float(t), float(p))

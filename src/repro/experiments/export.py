@@ -1,0 +1,64 @@
+"""Export run results to JSON / CSV.
+
+``result_to_dict`` flattens a :class:`~repro.core.engine.RunResult`
+into plain JSON-serializable structures; ``write_json`` and
+``write_accuracy_csv`` persist them. Used by the CLI's ``--output``
+flag and available programmatically.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+
+from repro.core.engine import RunResult
+from repro.utils.metrics import TimeSeries
+
+__all__ = ["result_to_dict", "write_json", "write_accuracy_csv"]
+
+
+def _series(series: TimeSeries) -> dict:
+    return {"times": list(series.times), "values": list(series.values)}
+
+
+def result_to_dict(result: RunResult) -> dict:
+    """A JSON-serializable snapshot of everything the run recorded."""
+    return {
+        "n_workers": result.n_workers,
+        "horizon": result.horizon,
+        "epochs": result.epochs,
+        "events": result.events,
+        "iterations": list(result.iterations),
+        "dkt_merges": result.dkt_merges,
+        "final_mean_accuracy": result.final_mean_accuracy(),
+        "accuracy_deviation": result.accuracy_deviation_at(result.horizon),
+        "time_to_70": result.time_to_accuracy(0.70),
+        "accuracy": [_series(s) for s in result.accuracy],
+        "loss": [_series(s) for s in result.loss],
+        "lbs": [_series(s) for s in result.lbs],
+        "gbs": _series(result.gbs),
+        "active_workers": _series(result.active_workers),
+        "compute_time": list(result.compute_time),
+        "wait_time": list(result.wait_time),
+        "link_bytes": {
+            f"{src}->{dst}": nbytes
+            for (src, dst), nbytes in sorted(result.link_bytes.items())
+        },
+    }
+
+
+def write_json(result: RunResult, path: str | pathlib.Path) -> None:
+    """Dump the full result snapshot as JSON."""
+    pathlib.Path(path).write_text(json.dumps(result_to_dict(result), indent=2))
+
+
+def write_accuracy_csv(result: RunResult, path: str | pathlib.Path) -> None:
+    """Per-worker accuracy samples as long-format CSV
+    (columns: worker, time_s, accuracy)."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["worker", "time_s", "accuracy"])
+        for worker, series in enumerate(result.accuracy):
+            for t, v in zip(series.times, series.values):
+                writer.writerow([worker, f"{t:.3f}", f"{v:.4f}"])

@@ -1,0 +1,49 @@
+"""Plain-text result tables for the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["FigureResult", "format_table"]
+
+
+@dataclass
+class FigureResult:
+    """One reproduced table/figure: an id, headers, rows, and notes."""
+
+    figure: str
+    title: str
+    header: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """The figure as a titled ASCII table with its notes."""
+        lines = [f"== {self.figure}: {self.title} =="]
+        lines.append(format_table(self.header, self.rows))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    if cell is None:
+        return "-"
+    return str(cell)
+
+
+def format_table(header: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Fixed-width ASCII table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    out = [" | ".join(h.ljust(w) for h, w in zip(header, widths)), sep]
+    for row in cells:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)

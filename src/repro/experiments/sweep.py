@@ -1,0 +1,107 @@
+"""Generic parameter sweeps over (environment × system × config).
+
+The figure drivers each hand-roll a small sweep; this module exposes
+the same machinery as a public API so downstream users can run their
+own studies::
+
+    from repro.experiments.sweep import grid_sweep
+
+    points = grid_sweep(
+        "Hetero NET A", "dlion",
+        {"lr": [0.01, 0.03, 0.1], "initial_lbs": [16, 32]},
+        seeds=(0, 1), horizon=200.0,
+    )
+    print(render_sweep(points).render())
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.engine import RunResult
+from repro.experiments.reporting import FigureResult
+from repro.experiments.runner import RunSpec, run_experiment
+from repro.utils.metrics import mean_and_ci95
+
+__all__ = ["SweepPoint", "grid_sweep", "render_sweep"]
+
+
+@dataclass
+class SweepPoint:
+    """One grid cell: the parameter assignment and its per-seed results."""
+
+    params: dict
+    results: list[RunResult] = field(default_factory=list)
+
+    def accuracies(self) -> list[float]:
+        """Final cluster-mean accuracy of each seed's run."""
+        return [r.final_mean_accuracy() for r in self.results]
+
+    def mean_accuracy(self) -> float:
+        """Mean final accuracy across seeds."""
+        return mean_and_ci95(self.accuracies())[0]
+
+    def ci95(self) -> float:
+        """95% confidence half-width across seeds."""
+        return mean_and_ci95(self.accuracies())[1]
+
+
+def grid_sweep(
+    environment: str,
+    system: str,
+    param_grid: dict[str, list],
+    *,
+    seeds: tuple[int, ...] = (0,),
+    horizon: float | None = None,
+    base_overrides: dict | None = None,
+) -> list[SweepPoint]:
+    """Run the full cartesian grid; returns one point per combination.
+
+    Grid keys are :class:`~repro.core.config.TrainConfig` field names;
+    values are applied as config overrides on top of ``base_overrides``.
+    """
+    if not param_grid:
+        raise ValueError("param_grid must name at least one parameter")
+    if not seeds:
+        raise ValueError("need at least one seed")
+    keys = list(param_grid.keys())
+    points: list[SweepPoint] = []
+    for combo in itertools.product(*(param_grid[k] for k in keys)):
+        params = dict(zip(keys, combo))
+        overrides = dict(base_overrides or {})
+        overrides.update(params)
+        point = SweepPoint(params=params)
+        for seed in seeds:
+            point.results.append(
+                run_experiment(
+                    RunSpec(
+                        environment=environment,
+                        system=system,
+                        seed=seed,
+                        horizon=horizon,
+                        config_overrides=overrides,
+                    )
+                )
+            )
+        points.append(point)
+    return points
+
+
+def render_sweep(
+    points: list[SweepPoint], *, title: str = "parameter sweep"
+) -> FigureResult:
+    """Format sweep points as a result table, best accuracy first."""
+    if not points:
+        raise ValueError("no sweep points")
+    keys = list(points[0].params.keys())
+    res = FigureResult(
+        figure="Sweep",
+        title=title,
+        header=[*keys, "accuracy", "ci95"],
+    )
+    for point in sorted(points, key=lambda p: -p.mean_accuracy()):
+        res.rows.append(
+            [*(str(point.params[k]) for k in keys), point.mean_accuracy(), point.ci95()]
+        )
+    return res

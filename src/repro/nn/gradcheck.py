@@ -1,0 +1,67 @@
+"""Numerical gradient checking used by the test suite.
+
+Central differences over every parameter (or a random subsample for big
+variables) against the analytic gradients from ``Model.loss_and_grads``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.losses import softmax_cross_entropy
+from repro.nn.model import Model
+
+__all__ = ["max_relative_grad_error"]
+
+
+def max_relative_grad_error(
+    model: Model,
+    x: np.ndarray,
+    labels: np.ndarray,
+    *,
+    eps: float = 1e-5,
+    max_checks_per_var: int = 24,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Largest relative error between analytic and numeric gradients.
+
+    Parameters are perturbed in float64 to keep the finite-difference
+    noise below the comparison threshold.
+    """
+    rng = rng or np.random.default_rng(0)
+
+    # Promote parameters to float64 for the check.
+    for layer in model.layers:
+        for k in layer.params:
+            layer.params[k] = layer.params[k].astype(np.float64)
+
+    _, grads = model.loss_and_grads(x.astype(np.float64), labels)
+
+    def loss_only() -> float:
+        logits = model.forward(x.astype(np.float64), training=True)
+        loss, _ = softmax_cross_entropy(logits, labels)
+        return loss
+
+    worst = 0.0
+    for name, g in grads.items():
+        w = model.get_variable(name)
+        flat_w = w.reshape(-1)
+        flat_g = g.reshape(-1)
+        n = flat_w.size
+        picks = (
+            np.arange(n)
+            if n <= max_checks_per_var
+            else rng.choice(n, size=max_checks_per_var, replace=False)
+        )
+        for i in picks:
+            orig = flat_w[i]
+            flat_w[i] = orig + eps
+            lp = loss_only()
+            flat_w[i] = orig - eps
+            lm = loss_only()
+            flat_w[i] = orig
+            num = (lp - lm) / (2 * eps)
+            ana = flat_g[i]
+            denom = max(abs(num), abs(ana), 1e-4)
+            worst = max(worst, abs(num - ana) / denom)
+    return worst

@@ -1,0 +1,41 @@
+"""Weight initializers.
+
+He initialization for ReLU stacks, Glorot for linear outputs; both take
+an explicit :class:`numpy.random.Generator` so models are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["he_normal", "glorot_uniform", "zeros", "ones"]
+
+
+def he_normal(rng: np.random.Generator, shape: tuple[int, ...], fan_in: int) -> np.ndarray:
+    """He-normal init: N(0, sqrt(2 / fan_in)). Standard for ReLU layers."""
+    if fan_in <= 0:
+        raise ValueError(f"fan_in must be positive, got {fan_in}")
+    std = math.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def glorot_uniform(
+    rng: np.random.Generator, shape: tuple[int, ...], fan_in: int, fan_out: int
+) -> np.ndarray:
+    """Glorot-uniform init: U(-limit, limit) with limit = sqrt(6/(fan_in+fan_out))."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError("fan_in and fan_out must be positive")
+    limit = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """An all-zeros float32 parameter (biases, BN beta)."""
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    """An all-ones float32 parameter (BN gamma)."""
+    return np.ones(shape, dtype=np.float32)

@@ -1,0 +1,34 @@
+"""The paper's model workloads plus a fast MLP for tests.
+
+``build_model(name, ...)`` mirrors DLion's ``build_model`` API (paper
+§4.2): "various DNN models can be defined and trained in DLion ... by
+simply calling the API with different model name".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.model import Model
+from repro.nn.models.cipher import cipher_cnn
+from repro.nn.models.mobilenet import mobilenet_slim
+from repro.nn.models.mlp import mlp
+
+__all__ = ["build_model", "cipher_cnn", "mobilenet_slim", "mlp", "MODEL_BUILDERS"]
+
+MODEL_BUILDERS = {
+    "cipher": cipher_cnn,
+    "mobilenet": mobilenet_slim,
+    "mlp": mlp,
+}
+
+
+def build_model(name: str, rng: np.random.Generator, **kwargs) -> Model:
+    """Construct a model by name — the DLion ``build_model`` API."""
+    try:
+        builder = MODEL_BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown model {name!r}; available: {sorted(MODEL_BUILDERS)}"
+        ) from None
+    return builder(rng=rng, **kwargs)

@@ -1,0 +1,50 @@
+"""The Cipher CNN.
+
+Paper §5.1.1: "Cipher model consists of 3 convolutional and 2
+fully-connected layers with ReLU and Maxpooling applied. We use 10, 20,
+100 kernels and 200 neurons like Ako." Input is the paper's 28×28-ish
+gray-scale imagery; we build for a configurable square input (default 24
+so that two 2× max-pools divide evenly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU
+from repro.nn.model import Model
+
+__all__ = ["cipher_cnn"]
+
+
+def cipher_cnn(
+    rng: np.random.Generator,
+    *,
+    in_channels: int = 1,
+    image_size: int = 24,
+    num_classes: int = 10,
+    kernels: tuple[int, int, int] = (10, 20, 100),
+    hidden: int = 200,
+) -> Model:
+    """Build the Cipher CNN (≈0.75 M params at the defaults, ~3 MB)."""
+    if image_size % 4 != 0:
+        raise ValueError("image_size must be divisible by 4 (two 2x max-pools)")
+    k1, k2, k3 = kernels
+    final_spatial = image_size // 4
+    flat = k3 * final_spatial * final_spatial
+    return Model(
+        [
+            Conv2D(in_channels, k1, 3, rng),
+            ReLU(),
+            MaxPool2D(2),
+            Conv2D(k1, k2, 3, rng),
+            ReLU(),
+            MaxPool2D(2),
+            Conv2D(k2, k3, 3, rng),
+            ReLU(),
+            Flatten(),
+            Dense(flat, hidden, rng),
+            ReLU(),
+            Dense(hidden, num_classes, rng, init="glorot"),
+        ]
+    )

@@ -1,0 +1,82 @@
+"""Optimizers.
+
+The distributed layer applies most updates itself through
+``Model.apply_grads`` (it must weight each peer's gradient individually,
+Eq. 7); ``SGD`` here is the single-machine convenience used by examples,
+tests, and the RCP profiling probes.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.nn.model import Model
+
+__all__ = ["SGD"]
+
+
+class SGD:
+    """Stochastic gradient descent with optional Polyak momentum,
+    decoupled weight decay, and global-norm gradient clipping."""
+
+    def __init__(
+        self,
+        model: Model,
+        *,
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        clip_norm: float | None = None,
+    ):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0,1)")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        if clip_norm is not None and clip_norm <= 0:
+            raise ValueError("clip_norm must be positive")
+        self.model = model
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.clip_norm = clip_norm
+        self._velocity: dict[str, np.ndarray] | None = None
+        if momentum > 0.0:
+            self._velocity = {
+                n: np.zeros_like(v) for n, v in model.variables().items()
+            }
+
+    @staticmethod
+    def global_norm(grads: Mapping[str, np.ndarray]) -> float:
+        return float(
+            np.sqrt(sum(float(np.square(g).sum()) for g in grads.values()))
+        )
+
+    def _clip(self, grads: Mapping[str, np.ndarray]) -> Mapping[str, np.ndarray]:
+        if self.clip_norm is None:
+            return grads
+        norm = self.global_norm(grads)
+        if norm <= self.clip_norm or norm == 0.0:
+            return grads
+        scale = self.clip_norm / norm
+        return {n: g * scale for n, g in grads.items()}
+
+    def step(self, grads: Mapping[str, np.ndarray]) -> None:
+        """Apply one update from the given per-variable gradients."""
+        grads = self._clip(grads)
+        variables = self.model.variables()
+        if self.weight_decay > 0.0:
+            # Decoupled decay (AdamW-style): shrink weights directly.
+            for v in variables.values():
+                v *= 1.0 - self.lr * self.weight_decay
+        if self._velocity is None:
+            self.model.apply_grads(grads, lr=self.lr)
+            return
+        for name, g in grads.items():
+            v = self._velocity[name]
+            v *= self.momentum
+            v += g
+            variables[name] -= self.lr * v

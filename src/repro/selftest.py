@@ -1,0 +1,162 @@
+"""Installation self-test: miniature versions of the headline claims.
+
+``repro-dlion selftest`` runs in under a minute and checks that the
+install behaves — substrate correctness (gradients, budget fit),
+determinism, and the central systems result (DLion beats the lockstep
+baseline on a heterogeneous cluster). Each check prints PASS/FAIL; the
+command exits non-zero if any fail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["run_selftest", "CHECKS"]
+
+
+def _tiny_config(system: str):
+    from repro.core.config import (
+        DktConfig,
+        GbsConfig,
+        LbsConfig,
+        MaxNConfig,
+        TrainConfig,
+    )
+
+    base = dict(
+        model="mlp",
+        model_kwargs={"in_dim": 576, "hidden": (48,)},
+        train_size=900,
+        test_size=200,
+        eval_subset=200,
+        dataset_kwargs={"noise": 1.2},
+        lr=0.08,
+        initial_lbs=16,
+        eval_period_iters=10,
+        lbs=LbsConfig(probe_batches=(4, 8, 16), probe_repeats=1, profile_period_iters=20),
+        dkt=DktConfig(period_iters=15),
+        gbs=GbsConfig(update_period_s=10.0),
+        system=system,
+    )
+    if system != "dlion":
+        base.update(
+            gbs=GbsConfig(enabled=False),
+            lbs=LbsConfig(enabled=False),
+            maxn=MaxNConfig(enabled=False),
+            dkt=DktConfig(enabled=False),
+            weighted_update=False,
+        )
+    return TrainConfig(**base)
+
+
+def _hetero_topology():
+    from repro.cluster.topology import ClusterTopology
+
+    return ClusterTopology.build(
+        cores=[24, 24, 12, 12, 6, 6],
+        bandwidth=[5.0, 5.0, 3.5, 3.5, 2.0, 2.0],
+        per_core_rate=8.0,
+        overhead=0.05,
+    )
+
+
+def check_gradients() -> str | None:
+    """Layer backprop vs numerical differentiation."""
+    from repro.nn.gradcheck import max_relative_grad_error
+    from repro.nn.models import cipher_cnn
+
+    rng = np.random.default_rng(0)
+    model = cipher_cnn(rng, image_size=8, kernels=(3, 4, 5), hidden=16)
+    x = rng.normal(size=(3, 1, 8, 8))
+    y = rng.integers(0, 10, size=3)
+    err = max_relative_grad_error(model, x, y)
+    if err > 2e-4:
+        return f"gradient error {err:.2e} exceeds 2e-4"
+    return None
+
+
+def check_budget_fit() -> str | None:
+    """Max-N budget fits never exceed the byte budget."""
+    from repro.cluster.messages import sparse_payload_bytes
+    from repro.core.maxn import select_payload
+    from repro.core.transmission import fit_n_to_budget
+
+    rng = np.random.default_rng(1)
+    grads = {"a": rng.normal(size=5000), "b": rng.normal(size=333)}
+    for budget in (500.0, 5_000.0, 40_000.0):
+        n = fit_n_to_budget(grads, budget)
+        if n > 0.85:
+            size = sparse_payload_bytes(select_payload(grads, n))
+            if size > budget:
+                return f"payload {size} B exceeds budget {budget} B at N={n:.2f}"
+    return None
+
+
+def check_determinism() -> str | None:
+    """Identical (config, topology, seed) => identical results."""
+    from repro.core.engine import TrainingEngine
+
+    runs = []
+    for _ in range(2):
+        engine = TrainingEngine(_tiny_config("dlion"), _hetero_topology(), seed=7)
+        runs.append(engine.run(30.0))
+    a, b = runs
+    if a.iterations != b.iterations:
+        return f"iteration counts differ: {a.iterations} vs {b.iterations}"
+    if a.loss[0].values != b.loss[0].values:
+        return "loss series differ between identical runs"
+    return None
+
+
+def check_lbs_proportionality() -> str | None:
+    """The LBS controller gives powerful workers larger batches."""
+    from repro.core.engine import TrainingEngine
+
+    res = TrainingEngine(_tiny_config("dlion"), _hetero_topology(), seed=0).run(40.0)
+    final = [s.values[-1] for s in res.lbs]
+    if not (final[0] > final[2] > final[4]):
+        return f"LBS not ordered by compute power: {final}"
+    return None
+
+
+def check_dlion_beats_baseline() -> str | None:
+    """The headline: DLion out-trains the lockstep baseline on a
+    heterogeneous cluster within the same budget."""
+    from repro.core.engine import TrainingEngine
+
+    dlion = TrainingEngine(_tiny_config("dlion"), _hetero_topology(), seed=0).run(90.0)
+    base = TrainingEngine(_tiny_config("baseline"), _hetero_topology(), seed=0).run(90.0)
+    if dlion.final_mean_accuracy() <= base.final_mean_accuracy():
+        return (
+            f"dlion {dlion.final_mean_accuracy():.3f} did not beat "
+            f"baseline {base.final_mean_accuracy():.3f}"
+        )
+    return None
+
+
+CHECKS = [
+    ("gradients vs numerical diff", check_gradients),
+    ("Max-N budget fit invariant", check_budget_fit),
+    ("bit determinism", check_determinism),
+    ("LBS proportional to compute", check_lbs_proportionality),
+    ("DLion beats Baseline (hetero)", check_dlion_beats_baseline),
+]
+
+
+def run_selftest(*, verbose: bool = True) -> int:
+    """Run all checks; returns the number of failures."""
+    failures = 0
+    for name, check in CHECKS:
+        try:
+            problem = check()
+        except Exception as exc:  # a crash is a failure, not an abort
+            problem = f"raised {type(exc).__name__}: {exc}"
+        status = "PASS" if problem is None else f"FAIL ({problem})"
+        if verbose:
+            print(f"  [{'ok' if problem is None else '!!'}] {name}: {status}")
+        if problem is not None:
+            failures += 1
+    if verbose:
+        total = len(CHECKS)
+        print(f"{total - failures}/{total} checks passed")
+    return failures

@@ -1,0 +1,28 @@
+"""Shared utilities: deterministic RNG management, regression, metrics.
+
+These modules are deliberately dependency-light so that every other
+subpackage (``repro.nn``, ``repro.cluster``, ``repro.core``) can build on
+them without import cycles.
+"""
+
+from repro.utils.rng import RngPool, spawn_rng
+from repro.utils.linreg import LinearFit, fit_line
+from repro.utils.metrics import (
+    TimeSeries,
+    accuracy_at_time,
+    time_to_accuracy,
+    detect_convergence,
+    mean_and_ci95,
+)
+
+__all__ = [
+    "RngPool",
+    "spawn_rng",
+    "LinearFit",
+    "fit_line",
+    "TimeSeries",
+    "accuracy_at_time",
+    "time_to_accuracy",
+    "detect_convergence",
+    "mean_and_ci95",
+]

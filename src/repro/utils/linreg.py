@@ -1,0 +1,69 @@
+"""Ordinary least-squares line fitting.
+
+DLion's LBS controller profiles a worker's compute capacity by regressing
+iteration time on local batch size (paper §3.2: "find a relationship
+between local batch sizes and elapsed times ... through a linear
+regression algorithm"). This module provides the small, dependency-free
+fit used there, plus prediction/inversion helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["LinearFit", "fit_line"]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """A fitted line ``y = intercept + slope * x``."""
+
+    intercept: float
+    slope: float
+    r2: float
+    n: int
+
+    def predict(self, x: float | np.ndarray) -> float | np.ndarray:
+        """Evaluate the fitted line at ``x``."""
+        return self.intercept + self.slope * np.asarray(x, dtype=float)
+
+    def invert(self, y: float) -> float:
+        """Solve ``y = intercept + slope * x`` for ``x``.
+
+        Used to answer "what batch size fits in this much time". Raises
+        if the line is flat (slope ~ 0), since no unique inverse exists.
+        """
+        if abs(self.slope) < 1e-12:
+            raise ZeroDivisionError("cannot invert a flat linear fit")
+        return (y - self.intercept) / self.slope
+
+
+def fit_line(x: Sequence[float], y: Sequence[float]) -> LinearFit:
+    """Least-squares fit of ``y = a + b x``.
+
+    Requires at least two distinct x values; with exactly collinear input
+    the fit is exact and ``r2 == 1``.
+    """
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if xa.shape != ya.shape or xa.ndim != 1:
+        raise ValueError("x and y must be 1-D arrays of equal length")
+    if xa.size < 2:
+        raise ValueError("need at least two points to fit a line")
+    if np.ptp(xa) == 0.0:
+        raise ValueError("x values are all identical; slope is undefined")
+
+    xm = xa.mean()
+    ym = ya.mean()
+    xc = xa - xm
+    slope = float(np.dot(xc, ya - ym) / np.dot(xc, xc))
+    intercept = float(ym - slope * xm)
+
+    resid = ya - (intercept + slope * xa)
+    ss_res = float(np.dot(resid, resid))
+    ss_tot = float(np.dot(ya - ym, ya - ym))
+    r2 = 1.0 if ss_tot == 0.0 else 1.0 - ss_res / ss_tot
+    return LinearFit(intercept=intercept, slope=slope, r2=r2, n=int(xa.size))

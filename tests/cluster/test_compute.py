@@ -1,0 +1,62 @@
+"""Tests for the compute model."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.compute import ComputeProfile
+from repro.cluster.traces import PiecewiseTrace
+
+
+class TestComputeProfile:
+    def test_iter_time_affine_in_batch(self):
+        p = ComputeProfile(24, per_core_rate=8, overhead=0.05, jitter=0.0)
+        t32 = p.iter_time(32, 0.0)
+        t64 = p.iter_time(64, 0.0)
+        assert t32 == pytest.approx(0.05 + 32 / 192)
+        assert t64 - t32 == pytest.approx(32 / 192)
+
+    def test_more_cores_is_faster(self):
+        fast = ComputeProfile(24, jitter=0.0)
+        slow = ComputeProfile(6, jitter=0.0)
+        assert fast.iter_time(32, 0.0) < slow.iter_time(32, 0.0)
+
+    def test_trace_changes_rate_over_time(self):
+        p = ComputeProfile(PiecewiseTrace([(0, 24), (100, 6)]), jitter=0.0)
+        assert p.iter_time(48, 0.0) < p.iter_time(48, 100.0)
+        assert p.rate_at(0.0) == 4 * p.rate_at(100.0)
+
+    def test_jitter_is_multiplicative_and_seeded(self):
+        p = ComputeProfile(24, jitter=0.1)
+        rng1 = np.random.default_rng(5)
+        rng2 = np.random.default_rng(5)
+        assert p.iter_time(32, 0.0, rng1) == p.iter_time(32, 0.0, rng2)
+
+    def test_jitter_without_rng_is_deterministic(self):
+        p = ComputeProfile(24, jitter=0.5)
+        assert p.iter_time(32, 0.0) == p.iter_time(32, 0.0)
+
+    def test_jitter_mean_reasonable(self):
+        p = ComputeProfile(24, jitter=0.05)
+        rng = np.random.default_rng(0)
+        base = ComputeProfile(24, jitter=0.0).iter_time(32, 0.0)
+        times = [p.iter_time(32, 0.0, rng) for _ in range(500)]
+        assert np.mean(times) == pytest.approx(base, rel=0.02)
+
+    def test_max_batch_in_inverts_iter_time(self):
+        p = ComputeProfile(24, per_core_rate=8, overhead=0.05, jitter=0.0)
+        b = p.max_batch_in(1.0, 0.0)
+        assert p.iter_time(int(b), 0.0) == pytest.approx(1.0, rel=0.01)
+
+    def test_max_batch_zero_when_overhead_dominates(self):
+        p = ComputeProfile(24, overhead=2.0, jitter=0.0)
+        assert p.max_batch_in(1.0, 0.0) == 0.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ComputeProfile(24, per_core_rate=0)
+        with pytest.raises(ValueError):
+            ComputeProfile(24, overhead=-1)
+        with pytest.raises(ValueError):
+            ComputeProfile(24, jitter=-0.1)
+        with pytest.raises(ValueError):
+            ComputeProfile(24).iter_time(0, 0.0)

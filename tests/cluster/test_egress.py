@@ -1,0 +1,93 @@
+"""Tests for the shared-egress (NIC contention) link model."""
+
+import pytest
+
+from repro.cluster.network import BandwidthMatrix, EgressQueue
+from repro.cluster.topology import ClusterTopology
+
+
+class TestEgressQueue:
+    def test_serialization(self):
+        q = EgressQueue(0, 80.0)  # 80 Mbps = 10 MB/s
+        d1 = q.enqueue(1_000_000, 0.0)
+        d2 = q.enqueue(1_000_000, 0.0)
+        assert d1 == pytest.approx(0.1)
+        assert d2 == pytest.approx(0.2)
+
+    def test_idle_gap(self):
+        q = EgressQueue(0, 80.0)
+        q.enqueue(1_000_000, 0.0)
+        assert q.enqueue(1_000_000, 5.0) == pytest.approx(5.1)
+
+    def test_negative_payload(self):
+        with pytest.raises(ValueError):
+            EgressQueue(0, 10.0).enqueue(-1, 0.0)
+
+
+class TestSharedEgressMatrix:
+    def test_parallel_transfers_contend_at_the_nic(self):
+        """Per-link model: two transfers to different peers overlap.
+        Shared-egress: they serialize through the sender's NIC."""
+        per_link = BandwidthMatrix.from_worker_capacity([80.0] * 3)
+        shared = BandwidthMatrix.from_worker_capacity(
+            [80.0] * 3, shared_egress=True
+        )
+        nbytes = 1_000_000  # 0.1 s at 80 Mbps
+
+        a1 = per_link.enqueue_transfer(0, 1, nbytes, 0.0)
+        a2 = per_link.enqueue_transfer(0, 2, nbytes, 0.0)
+        assert a1 == pytest.approx(a2)  # parallel links
+
+        b1 = shared.enqueue_transfer(0, 1, nbytes, 0.0)
+        b2 = shared.enqueue_transfer(0, 2, nbytes, 0.0)
+        assert b2 > b1  # NIC serializes
+        assert b2 >= a2 + 0.09  # roughly one extra serialization slot
+
+    def test_egress_requires_per_worker_capacity(self):
+        with pytest.raises(ValueError):
+            BandwidthMatrix([[1, 2], [3, 4]], egress=[10.0])
+
+    def test_default_matrix_has_no_egress(self):
+        m = BandwidthMatrix.from_worker_capacity([10.0] * 2)
+        assert m.egress is None
+
+    def test_enqueue_transfer_without_egress_matches_link(self):
+        m = BandwidthMatrix.from_worker_capacity([80.0] * 2)
+        t_via_matrix = m.enqueue_transfer(0, 1, 1_000_000, 0.0)
+        m2 = BandwidthMatrix.from_worker_capacity([80.0] * 2)
+        t_via_link = m2.link(0, 1).enqueue_transfer(1_000_000, 0.0)
+        assert t_via_matrix == pytest.approx(t_via_link)
+
+
+class TestEngineWithSharedEgress:
+    def test_shared_egress_slows_whole_gradient_systems(self):
+        """Baseline sends its full gradient to every peer each
+        iteration; under NIC contention that costs ~(n-1)x the per-link
+        model's time, so it completes fewer iterations."""
+        from repro.core.config import DktConfig, GbsConfig, LbsConfig, MaxNConfig, TrainConfig
+        from repro.core.engine import TrainingEngine
+
+        cfg = TrainConfig(
+            model="mlp",
+            model_kwargs={"in_dim": 576, "hidden": (32,)},
+            train_size=240, test_size=60, eval_subset=60, initial_lbs=8,
+            system="baseline",
+            gbs=GbsConfig(enabled=False),
+            lbs=LbsConfig(enabled=False),
+            maxn=MaxNConfig(enabled=False),
+            dkt=DktConfig(enabled=False),
+            weighted_update=False,
+            eval_period_iters=25,
+        )
+
+        def run(shared):
+            topo = ClusterTopology.build(
+                cores=[8, 8, 8, 8], bandwidth=[3.0] * 4,
+                per_core_rate=16.0, overhead=0.02, jitter=0.0,
+                shared_egress=shared,
+            )
+            return TrainingEngine(cfg, topo, seed=0).run(40.0)
+
+        per_link = run(False)
+        shared = run(True)
+        assert sum(shared.iterations) < sum(per_link.iterations)

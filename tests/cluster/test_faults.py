@@ -1,0 +1,91 @@
+"""Tests for the fault-injection trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.faults import degraded_trace, flaky_capacities
+
+
+class TestDegradedTrace:
+    def test_no_events_returns_base(self):
+        rng = np.random.default_rng(0)
+        t = degraded_trace(24.0, rng, horizon=100.0, rate=0.0)
+        assert t.value_at(0) == 24.0
+        assert t.value_at(99) == 24.0
+
+    def test_degradation_never_exceeds_base(self):
+        rng = np.random.default_rng(1)
+        t = degraded_trace(24.0, rng, horizon=500.0, rate=0.05)
+        for probe in np.linspace(0, 499, 60):
+            assert t.value_at(float(probe)) <= 24.0 + 1e-9
+
+    def test_floor_respected(self):
+        rng = np.random.default_rng(2)
+        t = degraded_trace(
+            10.0, rng, horizon=500.0, rate=0.5, severity=(0.01, 0.02),
+            mean_duration=200.0, floor=0.05,
+        )
+        for probe in np.linspace(0, 499, 60):
+            assert t.value_at(float(probe)) >= 0.5 - 1e-9
+
+    def test_deterministic_per_seed(self):
+        a = degraded_trace(24.0, np.random.default_rng(3), horizon=300.0, rate=0.05)
+        b = degraded_trace(24.0, np.random.default_rng(3), horizon=300.0, rate=0.05)
+        for probe in (0, 50, 150, 299):
+            assert a.value_at(probe) == b.value_at(probe)
+
+    def test_some_degradation_actually_happens(self):
+        rng = np.random.default_rng(4)
+        t = degraded_trace(24.0, rng, horizon=500.0, rate=0.05)
+        values = {t.value_at(float(p)) for p in np.linspace(0, 499, 200)}
+        assert len(values) > 1  # at the chosen rate, events are near-certain
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            degraded_trace(0.0, rng, horizon=10.0)
+        with pytest.raises(ValueError):
+            degraded_trace(1.0, rng, horizon=10.0, severity=(0.0, 0.5))
+        with pytest.raises(ValueError):
+            degraded_trace(1.0, rng, horizon=10.0, mean_duration=0.0)
+
+
+class TestFlakyCapacities:
+    def test_one_trace_per_worker(self):
+        rng = np.random.default_rng(5)
+        traces = flaky_capacities([24, 12, 6], rng, horizon=200.0)
+        assert len(traces) == 3
+        assert traces[0].value_at(0) <= 24.0
+
+    def test_traces_are_independent(self):
+        rng = np.random.default_rng(6)
+        traces = flaky_capacities([24, 24], rng, horizon=500.0, rate=0.05)
+        diffs = [
+            traces[0].value_at(float(p)) != traces[1].value_at(float(p))
+            for p in np.linspace(0, 499, 100)
+        ]
+        assert any(diffs)
+
+    def test_trains_through_faults(self):
+        """A full engine run on a randomly-degrading cluster still learns."""
+        from repro.cluster.compute import ComputeProfile
+        from repro.cluster.network import BandwidthMatrix
+        from repro.cluster.topology import ClusterTopology
+        from repro.core.config import DktConfig, GbsConfig, LbsConfig, TrainConfig
+        from repro.core.engine import TrainingEngine
+
+        rng = np.random.default_rng(7)
+        cores = flaky_capacities([8, 8, 4], rng, horizon=60.0, rate=0.02)
+        topo = ClusterTopology(
+            compute=[ComputeProfile(c, per_core_rate=16.0, overhead=0.02) for c in cores],
+            network=BandwidthMatrix.from_worker_capacity([10.0] * 3),
+        )
+        cfg = TrainConfig(
+            model="mlp", model_kwargs={"in_dim": 576, "hidden": (32,)},
+            train_size=300, test_size=80, eval_subset=80, initial_lbs=8,
+            gbs=GbsConfig(update_period_s=10.0),
+            lbs=LbsConfig(probe_batches=(4, 8), probe_repeats=1, profile_period_iters=10),
+            dkt=DktConfig(period_iters=10), eval_period_iters=10,
+        )
+        res = TrainingEngine(cfg, topo, seed=0).run(60.0)
+        assert res.final_mean_accuracy() > 0.3

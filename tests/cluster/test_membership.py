@@ -1,0 +1,71 @@
+"""Tests for membership schedules (the elastic-cluster extension)."""
+
+import pytest
+
+from repro.cluster.membership import MembershipEvent, MembershipSchedule
+
+
+class TestMembershipEvent:
+    def test_valid(self):
+        ev = MembershipEvent(10.0, 2, "leave")
+        assert ev.action == "leave"
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            MembershipEvent(-1.0, 0, "leave")
+        with pytest.raises(ValueError):
+            MembershipEvent(1.0, -1, "leave")
+        with pytest.raises(ValueError):
+            MembershipEvent(1.0, 0, "crash")
+
+
+class TestMembershipSchedule:
+    def test_tuple_shorthand(self):
+        sched = MembershipSchedule([(10.0, 3, "leave")], n_workers=6)
+        assert len(sched) == 1
+
+    def test_active_at(self):
+        sched = MembershipSchedule(
+            [(10.0, 3, "leave"), (50.0, 3, "join"), (60.0, 1, "leave")], n_workers=4
+        )
+        assert sched.active_at(0.0) == {0, 1, 2, 3}
+        assert sched.active_at(10.0) == {0, 1, 2}
+        assert sched.active_at(49.9) == {0, 1, 2}
+        assert sched.active_at(50.0) == {0, 1, 2, 3}
+        assert sched.active_at(100.0) == {0, 2, 3}
+
+    def test_min_active(self):
+        sched = MembershipSchedule(
+            [(10.0, 3, "leave"), (20.0, 2, "leave"), (30.0, 3, "join")], n_workers=4
+        )
+        assert sched.min_active() == 2
+
+    def test_double_leave_rejected(self):
+        with pytest.raises(ValueError, match="leaves twice"):
+            MembershipSchedule(
+                [(10.0, 1, "leave"), (20.0, 1, "leave")], n_workers=3
+            )
+
+    def test_join_while_active_rejected(self):
+        with pytest.raises(ValueError, match="joins while active"):
+            MembershipSchedule([(10.0, 1, "join")], n_workers=3)
+
+    def test_out_of_range_worker(self):
+        with pytest.raises(ValueError, match="out of range"):
+            MembershipSchedule([(10.0, 7, "leave")], n_workers=3)
+
+    def test_events_sorted_regardless_of_input_order(self):
+        sched = MembershipSchedule(
+            [(50.0, 1, "join"), (10.0, 1, "leave")], n_workers=3
+        )
+        assert [e.time for e in sched.events] == [10.0, 50.0]
+
+    def test_same_time_events_rejected_per_worker(self):
+        with pytest.raises(ValueError, match="increasing times"):
+            MembershipSchedule(
+                [(10.0, 1, "leave"), (10.0, 1, "join")], n_workers=3
+            )
+
+    def test_too_few_workers(self):
+        with pytest.raises(ValueError):
+            MembershipSchedule([], n_workers=1)

@@ -1,0 +1,92 @@
+"""Tests for message types and wire-size accounting."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.messages import (
+    CONTROL_MESSAGE_BYTES,
+    VARIABLE_HEADER_BYTES,
+    ControlMessage,
+    DktRequestMessage,
+    GradientMessage,
+    LossShareMessage,
+    RcpShareMessage,
+    WeightMessage,
+    dense_payload_bytes,
+    sparse_payload_bytes,
+)
+
+
+class TestPayloadBytes:
+    def test_sparse_bytes(self):
+        payload = {"w": (np.arange(10, dtype=np.int64), np.ones(10, np.float32))}
+        assert sparse_payload_bytes(payload) == VARIABLE_HEADER_BYTES + 80
+
+    def test_sparse_multiple_variables(self):
+        payload = {
+            "a": (np.arange(3), np.ones(3)),
+            "b": (np.arange(5), np.ones(5)),
+        }
+        assert sparse_payload_bytes(payload) == 2 * VARIABLE_HEADER_BYTES + 8 * 8
+
+    def test_sparse_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            sparse_payload_bytes({"w": (np.arange(3), np.ones(4))})
+
+    def test_dense_bytes(self):
+        payload = {"w": np.zeros((4, 5), np.float32)}
+        assert dense_payload_bytes(payload) == VARIABLE_HEADER_BYTES + 80
+
+    def test_dense_cheaper_per_entry_than_sparse(self):
+        g = np.zeros(100, np.float32)
+        dense = dense_payload_bytes({"w": g})
+        sparse = sparse_payload_bytes({"w": (np.arange(100), g)})
+        assert dense < sparse  # indices double the per-entry cost
+
+
+class TestGradientMessage:
+    def test_requires_exactly_one_payload(self):
+        with pytest.raises(ValueError):
+            GradientMessage(sender=0, iteration=1, lbs=8)
+        with pytest.raises(ValueError):
+            GradientMessage(
+                sender=0, iteration=1, lbs=8,
+                sparse={}, dense={"w": np.zeros(3)},
+            )
+
+    def test_sparse_message_counts(self):
+        msg = GradientMessage(
+            sender=1, iteration=2, lbs=16,
+            sparse={"w": (np.arange(7), np.ones(7, np.float32))},
+        )
+        assert msg.num_entries() == 7
+        assert msg.wire_bytes() == VARIABLE_HEADER_BYTES + 56
+
+    def test_dense_message_counts(self):
+        msg = GradientMessage(
+            sender=1, iteration=2, lbs=16, dense={"w": np.zeros((2, 3), np.float32)}
+        )
+        assert msg.num_entries() == 6
+        assert msg.wire_bytes() == VARIABLE_HEADER_BYTES + 24
+
+    def test_empty_sparse_is_a_progress_beacon(self):
+        msg = GradientMessage(sender=0, iteration=5, lbs=8, sparse={})
+        assert msg.wire_bytes() == 0
+        assert msg.num_entries() == 0
+
+    def test_lbs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            GradientMessage(sender=0, iteration=0, lbs=0, sparse={})
+
+
+class TestOtherMessages:
+    def test_weight_message_bytes(self):
+        msg = WeightMessage(sender=0, iteration=1,
+                            weights={"w": np.zeros(10, np.float32)})
+        assert msg.wire_bytes() == VARIABLE_HEADER_BYTES + 40
+
+    def test_control_messages_fixed_size(self):
+        assert LossShareMessage(0, 1, 0.5).wire_bytes() == CONTROL_MESSAGE_BYTES
+        assert DktRequestMessage(0, 1).wire_bytes() == CONTROL_MESSAGE_BYTES
+        assert RcpShareMessage(0, 12.5).wire_bytes() == CONTROL_MESSAGE_BYTES
+        assert ControlMessage(0, "go").wire_bytes() == CONTROL_MESSAGE_BYTES

@@ -1,0 +1,107 @@
+"""Tests for links, FIFO serialization, and the bandwidth matrix."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.network import (
+    AWS_REGION_BANDWIDTH,
+    AWS_REGIONS,
+    BandwidthMatrix,
+    Link,
+)
+from repro.cluster.traces import PiecewiseTrace
+
+
+class TestLink:
+    def test_transfer_duration(self):
+        link = Link(0, 1, 50.0, latency=0.0)
+        # 1 MB at 50 Mbps = 8e6 bits / 5e7 bps = 0.16 s
+        assert link.transfer_duration(1_000_000, 0.0) == pytest.approx(0.16)
+
+    def test_fifo_serialization(self):
+        link = Link(0, 1, 80.0, latency=0.0)
+        d1 = link.enqueue_transfer(1_000_000, 0.0)   # 0.1 s
+        d2 = link.enqueue_transfer(1_000_000, 0.0)   # queued behind
+        assert d1 == pytest.approx(0.1)
+        assert d2 == pytest.approx(0.2)
+
+    def test_idle_gap_resets_queue(self):
+        link = Link(0, 1, 80.0, latency=0.0)
+        link.enqueue_transfer(1_000_000, 0.0)
+        d = link.enqueue_transfer(1_000_000, 10.0)  # queue long drained
+        assert d == pytest.approx(10.1)
+
+    def test_latency_added_after_serialization(self):
+        link = Link(0, 1, 80.0, latency=0.05)
+        assert link.enqueue_transfer(1_000_000, 0.0) == pytest.approx(0.15)
+
+    def test_queue_delay(self):
+        link = Link(0, 1, 80.0, latency=0.0)
+        link.enqueue_transfer(2_000_000, 0.0)  # busy until 0.2
+        assert link.queue_delay(0.1) == pytest.approx(0.1)
+        assert link.queue_delay(0.5) == 0.0
+
+    def test_bandwidth_trace_respected(self):
+        link = Link(0, 1, PiecewiseTrace([(0, 10), (100, 100)]), latency=0.0)
+        slow = link.transfer_duration(1_000_000, 0.0)
+        fast = link.transfer_duration(1_000_000, 150.0)
+        assert slow == pytest.approx(10 * fast)
+
+    def test_stats(self):
+        link = Link(0, 1, 80.0)
+        link.enqueue_transfer(100, 0.0)
+        link.enqueue_transfer(200, 0.0)
+        assert link.bytes_sent == 300
+        assert link.transfers == 2
+
+    def test_no_self_link(self):
+        with pytest.raises(ValueError):
+            Link(2, 2, 10.0)
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            Link(0, 1, 10.0).transfer_duration(-1, 0.0)
+
+
+class TestBandwidthMatrix:
+    def test_from_worker_capacity_uses_min(self):
+        m = BandwidthMatrix.from_worker_capacity([50, 20, 35])
+        assert m.link(0, 1).bandwidth_at(0) == 20
+        assert m.link(1, 0).bandwidth_at(0) == 20
+        assert m.link(0, 2).bandwidth_at(0) == 35
+
+    def test_full_mesh_no_self_links(self):
+        m = BandwidthMatrix.from_worker_capacity([10] * 4)
+        assert len(m.links) == 12
+        assert (1, 1) not in m.links
+
+    def test_out_links(self):
+        m = BandwidthMatrix.from_worker_capacity([10] * 3)
+        outs = m.out_links(1)
+        assert sorted(l.dst for l in outs) == [0, 2]
+
+    def test_from_regions_lan_and_wan(self):
+        m = BandwidthMatrix.from_regions([0, 0, 3], lan_mbps=1000.0)
+        assert m.link(0, 1).bandwidth_at(0) == 1000.0  # same region
+        # Virginia -> Mumbai from Table 2 = 53 Mbps
+        assert m.link(0, 2).bandwidth_at(0) == 53.0
+        # Mumbai -> Virginia = 53 as well (table is roughly symmetric here)
+        assert m.link(2, 0).bandwidth_at(0) == AWS_REGION_BANDWIDTH[3][0]
+
+    def test_table2_shape_and_values(self):
+        assert AWS_REGION_BANDWIDTH.shape == (6, 6)
+        assert len(AWS_REGIONS) == 6
+        # spot-check the paper's numbers
+        assert AWS_REGION_BANDWIDTH[0][1] == 190   # Virginia -> Oregon
+        assert AWS_REGION_BANDWIDTH[2][4] == 30    # Ireland -> Seoul
+        assert AWS_REGION_BANDWIDTH[5][2] == 36    # Sydney -> Ireland
+        assert (np.diag(AWS_REGION_BANDWIDTH) == 0).all()
+
+    def test_total_bytes(self):
+        m = BandwidthMatrix.from_worker_capacity([10] * 2)
+        m.link(0, 1).enqueue_transfer(500, 0.0)
+        assert m.total_bytes() == 500
+
+    def test_square_spec_required(self):
+        with pytest.raises(ValueError):
+            BandwidthMatrix([[1, 2], [3]])

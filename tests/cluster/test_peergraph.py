@@ -1,0 +1,115 @@
+"""Tests for partial peer topologies (gossip overlays)."""
+
+import networkx as nx
+import pytest
+
+from repro.cluster.peergraph import PeerGraph
+
+
+class TestConstruction:
+    def test_full_mesh_degrees(self):
+        pg = PeerGraph.full_mesh(6)
+        assert all(pg.degree(w) == 5 for w in range(6))
+        assert pg.edges == 15
+
+    def test_ring(self):
+        pg = PeerGraph.ring(6)
+        assert all(pg.degree(w) == 2 for w in range(6))
+        assert pg.neighbors(0) == {1, 5}
+
+    def test_k_regular(self):
+        pg = PeerGraph.k_regular(6, 3, seed=1)
+        assert all(pg.degree(w) == 3 for w in range(6))
+        assert nx.is_connected(pg.graph)
+
+    def test_star(self):
+        pg = PeerGraph.star(5, hub=2)
+        assert pg.degree(2) == 4
+        assert all(pg.degree(w) == 1 for w in range(5) if w != 2)
+
+    def test_diameter(self):
+        assert PeerGraph.full_mesh(6).diameter() == 1
+        assert PeerGraph.ring(6).diameter() == 3
+
+    def test_disconnected_rejected(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(4))
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        with pytest.raises(ValueError, match="connected"):
+            PeerGraph(g, 4)
+
+    def test_wrong_node_labels_rejected(self):
+        g = nx.complete_graph(4)
+        g = nx.relabel_nodes(g, {0: 9})
+        with pytest.raises(ValueError, match="nodes"):
+            PeerGraph(g, 4)
+
+    def test_self_loop_rejected(self):
+        g = nx.complete_graph(3)
+        g.add_edge(1, 1)
+        with pytest.raises(ValueError, match="loops"):
+            PeerGraph(g, 3)
+
+    def test_k_regular_validation(self):
+        with pytest.raises(ValueError):
+            PeerGraph.k_regular(6, 1)
+        with pytest.raises(ValueError):
+            PeerGraph.k_regular(5, 3)  # odd k*n
+
+
+class TestEngineWithOverlay:
+    @pytest.fixture
+    def cfg(self, fast_config):
+        return fast_config
+
+    def _topo(self):
+        from repro.cluster.topology import ClusterTopology
+
+        return ClusterTopology.build(
+            cores=[8, 8, 8, 8], bandwidth=[20.0] * 4,
+            per_core_rate=16.0, overhead=0.02, jitter=0.0,
+        )
+
+    def test_messages_flow_only_along_edges(self, cfg):
+        from repro.core.engine import TrainingEngine
+
+        pg = PeerGraph.ring(4)
+        engine = TrainingEngine(cfg, self._topo(), seed=0, peer_graph=pg)
+        res = engine.run(15.0)
+        for (src, dst), nbytes in res.link_bytes.items():
+            assert dst in pg.neighbors(src), f"traffic on non-edge {src}->{dst}"
+        # and every edge carries something
+        for u, v in pg.graph.edges:
+            assert res.link_bytes.get((u, v), 0) > 0
+
+    def test_ring_still_learns(self, cfg):
+        from repro.core.engine import TrainingEngine
+
+        pg = PeerGraph.ring(4)
+        res = TrainingEngine(cfg, self._topo(), seed=0, peer_graph=pg).run(30.0)
+        assert res.final_mean_accuracy() > 0.4
+
+    def test_sync_state_spans_neighbors_only(self, cfg):
+        from repro.core.engine import TrainingEngine
+
+        pg = PeerGraph.ring(4)
+        engine = TrainingEngine(cfg, self._topo(), seed=0, peer_graph=pg)
+        assert set(engine.workers[0].sync_state.received_from) == {1, 3}
+
+    def test_size_mismatch_rejected(self, cfg):
+        from repro.core.engine import TrainingEngine
+
+        with pytest.raises(ValueError, match="different cluster"):
+            TrainingEngine(cfg, self._topo(), seed=0, peer_graph=PeerGraph.ring(6))
+
+    def test_full_mesh_overlay_equals_no_overlay(self, cfg):
+        """The all-to-all overlay must be bit-identical to the default."""
+        from repro.core.engine import TrainingEngine
+
+        a = TrainingEngine(cfg, self._topo(), seed=3).run(12.0)
+        b = TrainingEngine(
+            cfg, self._topo(), seed=3, peer_graph=PeerGraph.full_mesh(4)
+        ).run(12.0)
+        assert a.iterations == b.iterations
+        assert a.loss[0].values == b.loss[0].values

@@ -1,0 +1,72 @@
+"""Tests for resource traces."""
+
+import pytest
+
+from repro.cluster.traces import ConstantTrace, PiecewiseTrace, square_wave
+
+
+class TestConstantTrace:
+    def test_value_everywhere(self):
+        t = ConstantTrace(24.0)
+        assert t.value_at(0) == 24.0
+        assert t.value_at(1e9) == 24.0
+        assert t.next_change_after(0) is None
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ConstantTrace(0.0)
+
+
+class TestPiecewiseTrace:
+    def test_segment_lookup(self):
+        t = PiecewiseTrace([(0, 24), (100, 12), (300, 4)])
+        assert t.value_at(0) == 24
+        assert t.value_at(99.999) == 24
+        assert t.value_at(100) == 12
+        assert t.value_at(250) == 12
+        assert t.value_at(10_000) == 4
+
+    def test_next_change_after(self):
+        t = PiecewiseTrace([(0, 1), (10, 2), (20, 3)])
+        assert t.next_change_after(0) == 10
+        assert t.next_change_after(10) == 20
+        assert t.next_change_after(20) is None
+
+    def test_must_start_at_zero(self):
+        with pytest.raises(ValueError):
+            PiecewiseTrace([(1, 5)])
+
+    def test_times_strictly_increasing(self):
+        with pytest.raises(ValueError):
+            PiecewiseTrace([(0, 1), (5, 2), (5, 3)])
+
+    def test_positive_levels_only(self):
+        with pytest.raises(ValueError):
+            PiecewiseTrace([(0, 1), (5, 0)])
+
+    def test_negative_time_rejected(self):
+        t = PiecewiseTrace([(0, 1)])
+        with pytest.raises(ValueError):
+            t.value_at(-0.1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewiseTrace([])
+
+
+class TestSquareWave:
+    def test_alternation(self):
+        t = square_wave(30, 100, period=100, horizon=500)
+        assert t.value_at(0) == 30
+        assert t.value_at(100) == 100
+        assert t.value_at(250) == 30
+        assert t.value_at(350) == 100
+
+    def test_start_high(self):
+        t = square_wave(30, 100, period=50, start_high=True, horizon=200)
+        assert t.value_at(0) == 100
+        assert t.value_at(50) == 30
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            square_wave(1, 2, period=0)

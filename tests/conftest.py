@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.config import DktConfig, GbsConfig, LbsConfig, TrainConfig
+from repro.nn.datasets import SyntheticImageDataset
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> SyntheticImageDataset:
+    return SyntheticImageDataset.cifar_like(
+        np.random.default_rng(7), train_size=240, test_size=80
+    )
+
+
+@pytest.fixture
+def tiny_topology() -> ClusterTopology:
+    """Three heterogeneous workers with modest bandwidth."""
+    return ClusterTopology.build(
+        cores=[8, 4, 2],
+        bandwidth=[20.0, 10.0, 5.0],
+        per_core_rate=16.0,
+        overhead=0.02,
+        jitter=0.0,
+    )
+
+
+@pytest.fixture
+def fast_config() -> TrainConfig:
+    """An MLP config small enough for sub-second engine runs."""
+    return TrainConfig(
+        model="mlp",
+        model_kwargs={"in_dim": 576, "hidden": (32,)},
+        train_size=240,
+        test_size=80,
+        eval_subset=80,
+        initial_lbs=8,
+        lr=0.1,
+        gbs=GbsConfig(update_period_s=5.0),
+        lbs=LbsConfig(probe_batches=(4, 8), probe_repeats=1, profile_period_iters=50),
+        dkt=DktConfig(period_iters=10),
+        eval_period_iters=10,
+    )

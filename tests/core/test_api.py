@@ -1,0 +1,55 @@
+"""Tests for the framework plugin API layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import ExchangeStrategy, PartialGradients
+from repro.core.sync import AsyncPolicy, LockstepPolicy, SyncState
+
+
+class TestPartialGradients:
+    def test_sparse_kind(self):
+        pg = PartialGradients(kind="sparse", payload={"w": (np.arange(2), np.ones(2))})
+        assert pg.chosen_n is None
+
+    def test_dense_kind_with_n(self):
+        pg = PartialGradients(kind="dense", payload={"w": np.zeros(3)}, chosen_n=42.0)
+        assert pg.chosen_n == 42.0
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            PartialGradients(kind="compressed", payload={})
+
+
+class TestExchangeStrategyBase:
+    def test_generate_is_abstract(self):
+        s = ExchangeStrategy(AsyncPolicy())
+        with pytest.raises(NotImplementedError):
+            s.generate_partial_gradients(None, {})
+
+    def test_synch_training_delegates_to_policy(self):
+        s = ExchangeStrategy(LockstepPolicy())
+        blocked = SyncState(iteration=5, received_from={1: 0})
+        open_ = SyncState(iteration=5, received_from={1: 4})
+        assert not s.synch_training(None, blocked)
+        assert s.synch_training(None, open_)
+
+    def test_setup_is_optional_noop(self):
+        ExchangeStrategy(AsyncPolicy()).setup(None)  # must not raise
+
+    def test_custom_subclass_minimal_surface(self):
+        """The Table 1 story: a working system is one method."""
+
+        class Everything(ExchangeStrategy):
+            def generate_partial_gradients(self, ctx, grads):
+                return {
+                    dst: PartialGradients(kind="dense", payload=dict(grads))
+                    for dst in ctx.peers
+                }
+
+        class Ctx:
+            peers = [1, 2]
+
+        s = Everything(AsyncPolicy())
+        plans = s.generate_partial_gradients(Ctx(), {"w": np.ones(3)})
+        assert set(plans) == {1, 2}

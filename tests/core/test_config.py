@@ -1,0 +1,84 @@
+"""Validation tests for configuration dataclasses."""
+
+import pytest
+
+from repro.core.config import DktConfig, GbsConfig, LbsConfig, MaxNConfig, TrainConfig
+
+
+class TestGbsConfig:
+    def test_defaults_follow_paper(self):
+        cfg = GbsConfig()
+        assert cfg.warmup_cap_frac == 0.01
+        assert cfg.speedup_cap_frac == 0.10
+        assert cfg.start_epoch == 2.0
+
+    def test_invalid_caps(self):
+        with pytest.raises(ValueError):
+            GbsConfig(warmup_cap_frac=0.2, speedup_cap_frac=0.1)
+        with pytest.raises(ValueError):
+            GbsConfig(warmup_cap_frac=0.0)
+
+    def test_invalid_progressions(self):
+        with pytest.raises(ValueError):
+            GbsConfig(warmup_increment=0)
+        with pytest.raises(ValueError):
+            GbsConfig(speedup_factor=1.0)
+
+
+class TestLbsConfig:
+    def test_needs_two_probe_batches(self):
+        with pytest.raises(ValueError):
+            LbsConfig(probe_batches=(32,))
+
+    def test_positive_unit_time(self):
+        with pytest.raises(ValueError):
+            LbsConfig(unit_time_s=0.0)
+
+
+class TestMaxNConfig:
+    def test_paper_default_floor(self):
+        assert MaxNConfig().n_min == 0.85
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            MaxNConfig(n_min=0.0)
+        with pytest.raises(ValueError):
+            MaxNConfig(n_min=50.0, n_max=10.0)
+        with pytest.raises(ValueError):
+            MaxNConfig(fixed_n=150.0)
+
+
+class TestDktConfig:
+    def test_paper_defaults(self):
+        cfg = DktConfig()
+        assert cfg.period_iters == 100
+        assert cfg.merge_lambda == 0.75
+        assert cfg.whom == "all"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DktConfig(merge_lambda=1.5)
+        with pytest.raises(ValueError):
+            DktConfig(whom="everyone")
+        with pytest.raises(ValueError):
+            DktConfig(period_iters=0)
+        with pytest.raises(ValueError):
+            DktConfig(early_period_iters=0)
+
+
+class TestTrainConfig:
+    def test_with_returns_modified_copy(self):
+        a = TrainConfig()
+        b = a.with_(lr=0.5)
+        assert b.lr == 0.5 and a.lr != 0.5
+        assert b.model == a.model
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainConfig(lr=0)
+        with pytest.raises(ValueError):
+            TrainConfig(sync_mode="eventual")
+        with pytest.raises(ValueError):
+            TrainConfig(initial_lbs=0)
+        with pytest.raises(ValueError):
+            TrainConfig(eval_subset=0)

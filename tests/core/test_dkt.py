@@ -1,0 +1,129 @@
+"""Tests for direct knowledge transfer."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DktConfig
+from repro.core.dkt import DktState, merge_weights
+
+
+class TestMergeWeights:
+    def test_lambda_zero_is_noop(self, rng):
+        local = {"w": rng.normal(size=4).astype(np.float32)}
+        snapshot = local["w"].copy()
+        merge_weights(local, {"w": rng.normal(size=4).astype(np.float32)}, 0.0)
+        np.testing.assert_array_equal(local["w"], snapshot)
+
+    def test_lambda_one_replaces(self, rng):
+        local = {"w": rng.normal(size=4).astype(np.float32)}
+        best = {"w": rng.normal(size=4).astype(np.float32)}
+        merge_weights(local, best, 1.0)
+        np.testing.assert_allclose(local["w"], best["w"], rtol=1e-6)
+
+    def test_partial_merge_formula(self):
+        local = {"w": np.array([4.0])}
+        best = {"w": np.array([0.0])}
+        merge_weights(local, best, 0.75)
+        # w - 0.75*(w - w_best) = 4 - 3 = 1
+        np.testing.assert_allclose(local["w"], [1.0])
+
+    def test_merge_is_in_place(self):
+        arr = np.array([2.0])
+        local = {"w": arr}
+        merge_weights(local, {"w": np.array([0.0])}, 0.5)
+        assert arr[0] == 1.0  # the original array was mutated
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            merge_weights({"w": np.ones(3)}, {"w": np.ones(4)}, 0.5)
+
+    def test_lambda_bounds(self):
+        with pytest.raises(ValueError):
+            merge_weights({"w": np.ones(1)}, {"w": np.ones(1)}, 1.5)
+
+
+class TestDktState:
+    def make(self, **kw):
+        return DktState(DktConfig(**kw), worker=0, n_workers=3)
+
+    def test_avg_loss_over_window(self):
+        st = self.make(loss_window=3)
+        for loss in (1.0, 2.0, 3.0, 4.0):
+            st.record_loss(loss)
+        assert st.avg_loss() == pytest.approx(3.0)  # last 3: 2,3,4
+
+    def test_avg_loss_empty(self):
+        assert self.make().avg_loss() is None
+
+    def test_should_share_period(self):
+        st = self.make(period_iters=10)
+        st.record_loss(1.0)
+        assert not st.should_share(5)
+        assert st.should_share(10)
+        assert not st.should_share(11)
+        assert st.should_share(20)
+
+    def test_should_share_needs_losses(self):
+        st = self.make(period_iters=10)
+        assert not st.should_share(10)
+
+    def test_should_share_disabled(self):
+        st = self.make(enabled=False, period_iters=10)
+        st.record_loss(1.0)
+        assert not st.should_share(10)
+
+    def test_early_frequent_phase(self):
+        st = self.make(period_iters=100, early_period_iters=10, early_until_iter=50)
+        st.record_loss(1.0)
+        assert st.should_share(10)
+        assert st.should_share(40)
+        assert not st.should_share(60)   # early phase over; period now 100
+        assert st.should_share(100)
+
+    def test_best_worker_includes_self(self):
+        st = self.make()
+        st.record_loss(0.5)
+        st.on_loss_share(1, 0.9)
+        st.on_loss_share(2, 0.7)
+        assert st.best_worker() == 0
+
+    def test_pull_target_is_best_peer(self):
+        st = self.make()
+        st.record_loss(0.9)
+        st.on_loss_share(1, 0.4)
+        st.on_loss_share(2, 0.7)
+        assert st.pull_target() == 1
+
+    def test_no_pull_when_self_is_best(self):
+        st = self.make()
+        st.record_loss(0.1)
+        st.on_loss_share(1, 0.4)
+        assert st.pull_target() is None
+
+    def test_no_pull_without_information(self):
+        assert self.make().pull_target() is None
+
+    def test_worst_policy_only_worst_pulls(self):
+        st = self.make(whom="worst")
+        st.record_loss(0.5)               # middle
+        st.on_loss_share(1, 0.4)          # best
+        st.on_loss_share(2, 0.9)          # worst
+        assert st.pull_target() is None   # we are not the worst
+
+        st2 = self.make(whom="worst")
+        st2.record_loss(0.9)              # we are the worst
+        st2.on_loss_share(1, 0.4)
+        st2.on_loss_share(2, 0.5)
+        assert st2.pull_target() == 1
+
+    def test_tie_breaks_to_lowest_id(self):
+        st = self.make()
+        st.on_loss_share(2, 0.5)
+        st.on_loss_share(1, 0.5)
+        assert st.best_worker() == 1
+
+    def test_disabled_never_pulls(self):
+        st = self.make(enabled=False)
+        st.record_loss(0.9)
+        st.on_loss_share(1, 0.1)
+        assert st.pull_target() is None

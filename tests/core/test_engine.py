@@ -1,0 +1,147 @@
+"""Integration tests for the worker + engine event loop."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.config import DktConfig, GbsConfig, LbsConfig, MaxNConfig, TrainConfig
+from repro.core.engine import TrainingEngine
+
+
+def make_engine(fast_config, tiny_topology, **changes):
+    cfg = fast_config.with_(**changes) if changes else fast_config
+    return TrainingEngine(cfg, tiny_topology, seed=0)
+
+
+class TestEngineBasics:
+    def test_run_produces_metrics(self, fast_config, tiny_topology):
+        res = make_engine(fast_config, tiny_topology).run(20.0)
+        assert res.n_workers == 3
+        assert all(it > 0 for it in res.iterations)
+        assert all(len(acc) > 0 for acc in res.accuracy)
+        assert res.epochs > 0
+        assert res.events > 0
+
+    def test_loss_decreases(self, fast_config, tiny_topology):
+        res = make_engine(fast_config, tiny_topology).run(30.0)
+        loss = res.loss[0]
+        early = np.mean(loss.values[:5])
+        late = np.mean(loss.values[-5:])
+        assert late < early
+
+    def test_deterministic_for_seed(self, fast_config, tiny_topology):
+        r1 = TrainingEngine(fast_config, tiny_topology, seed=3).run(15.0)
+        topo2 = ClusterTopology.build(
+            cores=[8, 4, 2], bandwidth=[20.0, 10.0, 5.0],
+            per_core_rate=16.0, overhead=0.02, jitter=0.0,
+        )
+        r2 = TrainingEngine(fast_config, topo2, seed=3).run(15.0)
+        assert r1.iterations == r2.iterations
+        np.testing.assert_array_equal(r1.loss[0].values, r2.loss[0].values)
+        np.testing.assert_array_equal(r1.accuracy[1].values, r2.accuracy[1].values)
+
+    def test_different_seeds_differ(self, fast_config, tiny_topology):
+        r1 = make_engine(fast_config, tiny_topology).run(10.0)
+        topo2 = ClusterTopology.build(
+            cores=[8, 4, 2], bandwidth=[20.0, 10.0, 5.0],
+            per_core_rate=16.0, overhead=0.02, jitter=0.0,
+        )
+        r2 = TrainingEngine(fast_config, topo2, seed=99).run(10.0)
+        assert r1.loss[0].values != r2.loss[0].values
+
+    def test_lbs_controller_favours_fast_workers(self, fast_config, tiny_topology):
+        res = make_engine(fast_config, tiny_topology).run(25.0)
+        final_lbs = [s.values[-1] for s in res.lbs]
+        # cores are 8/4/2: worker 0 must carry the largest batches
+        assert final_lbs[0] > final_lbs[1] > final_lbs[2]
+
+    def test_gbs_growth_recorded(self, fast_config, tiny_topology):
+        res = make_engine(fast_config, tiny_topology).run(30.0)
+        assert len(res.gbs) >= 2  # initial + at least one growth step
+        assert res.gbs.values[-1] > res.gbs.values[0]
+
+    def test_link_stats_recorded(self, fast_config, tiny_topology):
+        res = make_engine(fast_config, tiny_topology).run(10.0)
+        assert (0, 1) in res.link_entries
+        assert res.link_bytes[(0, 1)] > 0
+        assert (0, 1) in res.link_chosen_n  # dlion records chosen N
+
+    def test_dkt_merges_happen(self, fast_config, tiny_topology):
+        res = make_engine(fast_config, tiny_topology).run(30.0)
+        assert res.dkt_merges > 0
+
+    def test_run_epochs_stops_at_target(self, fast_config, tiny_topology):
+        engine = make_engine(fast_config, tiny_topology)
+        res = engine.run_epochs(3.0, max_time=500.0)
+        assert res.epochs >= 3.0
+        assert res.epochs < 6.0  # did not massively overshoot
+
+
+class TestEngineSystems:
+    @pytest.mark.parametrize("system", ["baseline", "ako", "gaia", "hop"])
+    def test_baseline_systems_run(self, fast_config, tiny_topology, system):
+        cfg = fast_config.with_(
+            system=system,
+            gbs=GbsConfig(enabled=False),
+            lbs=LbsConfig(enabled=False),
+            maxn=MaxNConfig(enabled=False),
+            dkt=DktConfig(enabled=False),
+            weighted_update=False,
+        )
+        res = TrainingEngine(cfg, tiny_topology, seed=0).run(15.0)
+        assert all(it > 0 for it in res.iterations)
+        assert res.dkt_merges == 0
+
+    def test_baseline_is_lockstep(self, fast_config, tiny_topology):
+        cfg = fast_config.with_(
+            system="baseline",
+            gbs=GbsConfig(enabled=False),
+            lbs=LbsConfig(enabled=False),
+            dkt=DktConfig(enabled=False),
+            weighted_update=False,
+        )
+        res = TrainingEngine(cfg, tiny_topology, seed=0).run(20.0)
+        assert max(res.iterations) - min(res.iterations) <= 1
+
+    def test_ako_is_async(self, fast_config, tiny_topology):
+        cfg = fast_config.with_(
+            system="ako",
+            gbs=GbsConfig(enabled=False),
+            lbs=LbsConfig(enabled=False),
+            dkt=DktConfig(enabled=False),
+            weighted_update=False,
+        )
+        res = TrainingEngine(cfg, tiny_topology, seed=0).run(20.0)
+        # cores 8/4/2: the fast worker must get far ahead
+        assert res.iterations[0] > 1.5 * res.iterations[2]
+
+    def test_fixed_lbs_without_controller(self, fast_config, tiny_topology):
+        cfg = fast_config.with_(
+            system="baseline",
+            gbs=GbsConfig(enabled=False),
+            lbs=LbsConfig(enabled=False),
+            dkt=DktConfig(enabled=False),
+            weighted_update=False,
+        )
+        res = TrainingEngine(cfg, tiny_topology, seed=0).run(10.0)
+        for series in res.lbs:
+            assert set(series.values) == {cfg.initial_lbs}
+
+
+class TestRunResultMetrics:
+    def test_mean_accuracy_monotone_series(self, fast_config, tiny_topology):
+        res = make_engine(fast_config, tiny_topology).run(20.0)
+        series = res.mean_accuracy_series()
+        vals = series.values
+        assert all(b >= a - 1e-9 for a, b in zip(vals, vals[1:]))
+
+    def test_time_to_accuracy_consistent(self, fast_config, tiny_topology):
+        res = make_engine(fast_config, tiny_topology).run(30.0)
+        final = res.final_mean_accuracy()
+        t = res.time_to_accuracy(final * 0.5)
+        assert t is not None and 0 < t <= res.horizon
+        assert res.time_to_accuracy(1.1) is None
+
+    def test_deviation_nonnegative(self, fast_config, tiny_topology):
+        res = make_engine(fast_config, tiny_topology).run(10.0)
+        assert res.accuracy_deviation_at(10.0) >= 0.0

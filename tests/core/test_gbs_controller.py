@@ -1,0 +1,72 @@
+"""Tests for the GBS controller's two-phase schedule."""
+
+import pytest
+
+from repro.core.config import GbsConfig
+from repro.core.gbs_controller import GbsController
+
+
+def make(train_size=60_000, initial=192, **kw):
+    return GbsController(GbsConfig(**kw), initial_gbs=initial, train_size=train_size)
+
+
+class TestPhases:
+    def test_warmup_is_arithmetic(self):
+        c = make(warmup_increment=32, start_epoch=0.0)
+        assert c.phase == GbsController.WARMUP
+        assert c.maybe_update(1.0) == 224
+        assert c.maybe_update(1.0) == 256
+
+    def test_warmup_to_speedup_at_one_percent(self):
+        c = make(warmup_increment=100, start_epoch=0.0)
+        # 1% of 60k = 600
+        while c.phase == GbsController.WARMUP:
+            c.maybe_update(5.0)
+        assert c.gbs > 600
+        assert c.phase == GbsController.SPEEDUP
+
+    def test_speedup_is_geometric(self):
+        c = make(initial=601, start_epoch=0.0, speedup_factor=2.0)
+        assert c.phase == GbsController.SPEEDUP
+        assert c.maybe_update(5.0) == 1202
+        assert c.maybe_update(5.0) == 2404
+
+    def test_stops_above_ten_percent(self):
+        c = make(initial=601, start_epoch=0.0, speedup_factor=2.0)
+        for _ in range(20):
+            c.maybe_update(10.0)
+        assert c.phase == GbsController.DONE
+        # one final growth step may exceed the cap, then growth stops
+        assert c.gbs <= 2 * 0.10 * 60_000
+        frozen = c.gbs
+        assert c.maybe_update(50.0) == frozen
+
+    def test_initial_gbs_past_caps_skips_phases(self):
+        c = make(initial=7000, start_epoch=0.0)
+        assert c.phase == GbsController.DONE
+
+
+class TestGating:
+    def test_no_growth_before_start_epoch(self):
+        c = make(start_epoch=2.0)
+        assert c.maybe_update(0.5) == 192
+        assert c.maybe_update(1.99) == 192
+        assert c.maybe_update(2.0) > 192
+
+    def test_disabled_controller_never_grows(self):
+        c = make(enabled=False, start_epoch=0.0)
+        for _ in range(10):
+            assert c.maybe_update(100.0) == 192
+
+    def test_min_epochs_between_updates(self):
+        c = make(start_epoch=0.0, min_epochs_between_updates=1.0)
+        g1 = c.maybe_update(0.0)
+        assert g1 > 192
+        assert c.maybe_update(0.5) == g1  # too soon
+        assert c.maybe_update(1.0) > g1
+
+    def test_invalid_initial(self):
+        with pytest.raises(ValueError):
+            make(initial=0)
+        with pytest.raises(ValueError):
+            GbsController(GbsConfig(), initial_gbs=10, train_size=0)

@@ -1,0 +1,91 @@
+"""Tests for RCP profiling and proportional LBS allocation (Eq. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.compute import ComputeProfile
+from repro.core.config import LbsConfig
+from repro.core.lbs_controller import LbsController, allocate_lbs
+
+
+class TestAllocateLbs:
+    def test_sums_to_gbs_exactly(self):
+        alloc = allocate_lbs(192, [24, 24, 12, 12, 6, 6])
+        assert sum(alloc) == 192
+
+    def test_proportional_to_rcp(self):
+        alloc = allocate_lbs(192, [24, 24, 12, 12, 6, 6])
+        assert alloc[0] == pytest.approx(192 * 24 / 84, abs=1)
+        assert alloc[4] == pytest.approx(192 * 6 / 84, abs=1)
+
+    def test_equal_rcps_even_split(self):
+        assert allocate_lbs(192, [5.0] * 6) == [32] * 6
+
+    def test_zero_total_rcp_falls_back_to_even(self):
+        assert allocate_lbs(12, [0.0, 0.0, 0.0]) == [4, 4, 4]
+
+    def test_min_lbs_enforced(self):
+        alloc = allocate_lbs(100, [1000.0, 1.0, 1.0], min_lbs=5)
+        assert min(alloc) >= 5
+        assert sum(alloc) == 100
+
+    def test_extreme_skew_still_sums(self):
+        alloc = allocate_lbs(97, [1e9, 1e-9, 3.0])
+        assert sum(alloc) == 97 and min(alloc) >= 1
+
+    def test_gbs_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_lbs(2, [1.0, 1.0, 1.0])
+
+    def test_negative_rcp_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_lbs(10, [1.0, -1.0])
+
+    def test_deterministic_tie_breaking(self):
+        a = allocate_lbs(10, [1.0, 1.0, 1.0])
+        b = allocate_lbs(10, [1.0, 1.0, 1.0])
+        assert a == b
+
+
+class TestLbsController:
+    def _probe_for(self, profile, rng=None):
+        def probe(batch):
+            return profile.iter_time(batch, 0.0, rng)
+        return probe
+
+    def test_rcp_tracks_true_capacity_noise_free(self):
+        profile = ComputeProfile(24, per_core_rate=8, overhead=0.05, jitter=0.0)
+        ctl = LbsController(LbsConfig())
+        rcp = ctl.profile(self._probe_for(profile))
+        truth = profile.max_batch_in(1.0, 0.0)
+        assert rcp == pytest.approx(truth, rel=0.02)
+
+    def test_rcp_with_noise_close_to_truth(self):
+        profile = ComputeProfile(24, per_core_rate=8, overhead=0.05, jitter=0.05)
+        ctl = LbsController(LbsConfig(probe_repeats=3))
+        rng = np.random.default_rng(3)
+        rcp = ctl.profile(self._probe_for(profile, rng))
+        truth = profile.max_batch_in(1.0, 0.0)
+        assert rcp == pytest.approx(truth, rel=0.2)
+
+    def test_faster_worker_gets_higher_rcp(self):
+        fast = ComputeProfile(24, jitter=0.0)
+        slow = ComputeProfile(6, jitter=0.0)
+        ctl = LbsController(LbsConfig())
+        assert ctl.profile(self._probe_for(fast)) > 2 * ctl.profile(
+            self._probe_for(slow)
+        )
+
+    def test_degenerate_fit_falls_back_to_throughput(self):
+        # A probe that returns constant time has slope 0; the controller
+        # must still return a sane positive RCP.
+        ctl = LbsController(LbsConfig())
+        rcp = ctl.profile(lambda b: 0.5)
+        assert rcp >= 1.0
+
+    def test_stores_last_fit(self):
+        profile = ComputeProfile(12, jitter=0.0)
+        ctl = LbsController(LbsConfig())
+        ctl.profile(self._probe_for(profile))
+        assert ctl.last_fit is not None
+        assert ctl.last_fit.slope == pytest.approx(1 / profile.rate_at(0), rel=0.01)

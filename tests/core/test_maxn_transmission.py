@@ -1,0 +1,137 @@
+"""Tests for Max N selection and the transmission-speed-assurance fit."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.messages import VARIABLE_HEADER_BYTES, sparse_payload_bytes
+from repro.core.config import MaxNConfig
+from repro.core.maxn import select_max_n, select_payload, selection_count
+from repro.core.transmission import TransmissionPlanner, fit_n_to_budget
+
+
+class TestSelectMaxN:
+    def test_n_100_selects_everything(self):
+        g = np.array([0.0, -1.0, 0.5, 2.0])
+        idx, vals = select_max_n(g, 100.0)
+        assert idx.tolist() == [0, 1, 2, 3]
+        np.testing.assert_array_equal(vals, g)
+
+    def test_tiny_n_selects_only_the_max(self):
+        g = np.array([0.1, -5.0, 0.5, 2.0])
+        idx, vals = select_max_n(g, 0.001)
+        assert idx.tolist() == [1]
+        assert vals.tolist() == [-5.0]
+
+    def test_band_semantics(self):
+        # max=10; N=30 keeps |g| >= 7.
+        g = np.array([10.0, -8.0, 7.0, 6.99, -1.0])
+        idx, _ = select_max_n(g, 30.0)
+        assert idx.tolist() == [0, 1, 2]
+
+    def test_values_match_indices(self, rng):
+        g = rng.normal(size=(13, 7))
+        idx, vals = select_max_n(g, 40.0)
+        np.testing.assert_array_equal(vals, g.reshape(-1)[idx])
+
+    def test_zero_gradient_sends_nothing(self):
+        idx, vals = select_max_n(np.zeros(10), 50.0)
+        assert idx.size == 0 and vals.size == 0
+
+    def test_n_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            select_max_n(np.ones(3), 0.0)
+        with pytest.raises(ValueError):
+            select_max_n(np.ones(3), 101.0)
+
+    def test_monotone_in_n(self, rng):
+        g = rng.normal(size=500)
+        sizes = [select_max_n(g, n)[0].size for n in (1, 10, 50, 90, 100)]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] == 500
+
+    def test_selection_count_matches_select(self, rng):
+        g = rng.normal(size=300)
+        mags = np.abs(g)
+        sorted_norm = np.sort(mags / mags.max())
+        for n in (0.5, 5.0, 37.0, 100.0):
+            assert selection_count(sorted_norm, n) == select_max_n(g, n)[0].size
+
+
+class TestSelectPayload:
+    def test_per_variable_thresholds(self, rng):
+        # Each variable is filtered against its own max: a variable of
+        # small gradients still contributes entries.
+        grads = {
+            "big": np.array([100.0, 1.0, 1.0]),
+            "small": np.array([0.001, 0.0009, 0.00001]),
+        }
+        payload = select_payload(grads, 20.0)
+        assert payload["big"][0].tolist() == [0]
+        assert payload["small"][0].tolist() == [0, 1]
+
+    def test_drops_empty_variables(self):
+        payload = select_payload({"z": np.zeros(5), "g": np.ones(5)}, 50.0)
+        assert "z" not in payload and "g" in payload
+
+
+class TestFitNToBudget:
+    def test_huge_budget_returns_n_max(self, rng):
+        grads = {"w": rng.normal(size=100)}
+        assert fit_n_to_budget(grads, 1e9) == 100.0
+
+    def test_tiny_budget_returns_floor(self, rng):
+        grads = {"w": rng.normal(size=1000)}
+        assert fit_n_to_budget(grads, 1.0) == 0.85
+
+    def test_result_payload_fits_budget(self, rng):
+        grads = {"a": rng.normal(size=4000), "b": rng.normal(size=123)}
+        for budget in (500, 5_000, 20_000):
+            n = fit_n_to_budget(grads, budget)
+            if n > 0.85:
+                size = sparse_payload_bytes(select_payload(grads, n))
+                assert size <= budget
+
+    def test_larger_budget_never_smaller_n(self, rng):
+        grads = {"w": rng.normal(size=2000)}
+        ns = [fit_n_to_budget(grads, b) for b in (100, 1000, 4000, 16000)]
+        assert ns == sorted(ns)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            fit_n_to_budget({"w": np.ones(3)}, 100, n_min=0.0)
+
+
+class TestTransmissionPlanner:
+    def test_budget_formula(self):
+        planner = TransmissionPlanner(MaxNConfig())
+        # 8 Mbps for 1 s = 1 MB
+        assert planner.budget_bytes(8.0, 1.0) == pytest.approx(1e6)
+
+    def test_slow_link_gets_fewer_entries(self, rng):
+        planner = TransmissionPlanner(MaxNConfig())
+        grads = {"w": rng.normal(size=50_000).astype(np.float32)}
+        plans = planner.plan(grads, {1: 50.0, 2: 1.0}, iter_time_s=0.01)
+        n_fast, p_fast = plans[1]
+        n_slow, p_slow = plans[2]
+        assert n_fast >= n_slow
+        assert p_fast["w"][0].size >= p_slow["w"][0].size
+
+    def test_fixed_n_bypasses_budget(self, rng):
+        planner = TransmissionPlanner(MaxNConfig(fixed_n=10.0))
+        grads = {"w": rng.normal(size=1000)}
+        plans = planner.plan(grads, {1: 0.001, 2: 1000.0}, iter_time_s=1.0)
+        assert plans[1][0] == 10.0 and plans[2][0] == 10.0
+        assert plans[1][1]["w"][0].size == plans[2][1]["w"][0].size
+
+    def test_equal_bandwidths_share_payload_object(self, rng):
+        planner = TransmissionPlanner(MaxNConfig())
+        grads = {"w": rng.normal(size=1000)}
+        plans = planner.plan(grads, {1: 10.0, 2: 10.0}, iter_time_s=0.5)
+        assert plans[1][1] is plans[2][1]
+
+    def test_invalid_budget_args(self):
+        planner = TransmissionPlanner(MaxNConfig())
+        with pytest.raises(ValueError):
+            planner.budget_bytes(0.0, 1.0)
+        with pytest.raises(ValueError):
+            planner.budget_bytes(10.0, 0.0)

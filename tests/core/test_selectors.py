@@ -1,0 +1,141 @@
+"""Tests for the pluggable gradient selectors."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MaxNConfig
+from repro.core.selectors import (
+    MaxNSelector,
+    RandomKSelector,
+    ThresholdSelector,
+    TopKSelector,
+    make_selector,
+)
+from repro.core.transmission import TransmissionPlanner, fit_level_to_budget
+
+
+@pytest.fixture
+def grad(rng):
+    return rng.normal(size=500)
+
+
+class TestTopK:
+    def test_keeps_exact_fraction(self, grad):
+        idx, vals = TopKSelector().select(grad, 10.0)
+        assert idx.size == 50
+        np.testing.assert_array_equal(vals, grad[idx])
+
+    def test_keeps_largest_magnitudes(self, grad):
+        idx, _ = TopKSelector().select(grad, 10.0)
+        mags = np.abs(grad)
+        kept_min = mags[idx].min()
+        dropped = np.setdiff1d(np.arange(grad.size), idx)
+        assert mags[dropped].max() <= kept_min + 1e-12
+
+    def test_level_100_keeps_all(self, grad):
+        idx, _ = TopKSelector().select(grad, 100.0)
+        assert idx.size == grad.size
+
+    def test_at_least_one(self, grad):
+        idx, _ = TopKSelector().select(grad, 0.01)
+        assert idx.size == 1
+
+    def test_count_matches_select(self, grad):
+        sel = TopKSelector()
+        for level in (0.5, 7.0, 55.0, 100.0):
+            assert sel.count_at(grad, level) == sel.select(grad, level)[0].size
+
+    def test_zero_gradient(self):
+        idx, _ = TopKSelector().select(np.zeros(10), 50.0)
+        assert idx.size == 0
+
+
+class TestRandomK:
+    def test_size_matches_topk(self, grad, rng):
+        sel = RandomKSelector(rng)
+        assert sel.select(grad, 20.0)[0].size == 100
+
+    def test_deterministic_per_rng_state(self, grad):
+        a = RandomKSelector(np.random.default_rng(4)).select(grad, 10.0)[0]
+        b = RandomKSelector(np.random.default_rng(4)).select(grad, 10.0)[0]
+        np.testing.assert_array_equal(a, b)
+
+    def test_values_match_indices(self, grad, rng):
+        idx, vals = RandomKSelector(rng).select(grad, 30.0)
+        np.testing.assert_array_equal(vals, grad[idx])
+
+    def test_count_matches(self, grad, rng):
+        sel = RandomKSelector(rng)
+        assert sel.count_at(grad, 30.0) == 150
+
+
+class TestThreshold:
+    def test_higher_level_more_entries(self, grad):
+        sel = ThresholdSelector(base_threshold=0.5)
+        n_low = sel.select(grad, 20.0)[0].size
+        n_high = sel.select(grad, 90.0)[0].size
+        assert n_high >= n_low
+
+    def test_never_empty_on_nonzero(self):
+        sel = ThresholdSelector(base_threshold=1e6)
+        idx, _ = sel.select(np.array([1e-9, 2e-9]), 1.0)
+        assert idx.size == 1
+
+    def test_count_matches_select(self, grad):
+        sel = ThresholdSelector(base_threshold=0.3)
+        for level in (5.0, 50.0, 99.0):
+            assert sel.count_at(grad, level) == sel.select(grad, level)[0].size
+
+    def test_invalid_base(self):
+        with pytest.raises(ValueError):
+            ThresholdSelector(base_threshold=0.0)
+
+
+class TestFactory:
+    def test_all_names(self, rng):
+        assert isinstance(make_selector("maxn"), MaxNSelector)
+        assert isinstance(make_selector("topk"), TopKSelector)
+        assert isinstance(make_selector("randomk", rng=rng), RandomKSelector)
+        assert isinstance(make_selector("threshold"), ThresholdSelector)
+
+    def test_randomk_needs_rng(self):
+        with pytest.raises(ValueError):
+            make_selector("randomk")
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_selector("dct")
+
+    def test_maxn_selector_delegates(self, grad):
+        from repro.core.maxn import select_max_n
+
+        a = MaxNSelector().select(grad, 40.0)
+        b = select_max_n(grad, 40.0)
+        np.testing.assert_array_equal(a[0], b[0])
+
+
+class TestGenericBudgetFit:
+    def test_topk_fit_respects_budget(self, rng):
+        grads = {"w": rng.normal(size=2000)}
+        sel = TopKSelector()
+        for budget in (200, 2000, 8000):
+            level = fit_level_to_budget(sel, grads, budget)
+            if level > 0.85:
+                cnt = sel.count_at(grads["w"], level)
+                assert 24 + 8 * cnt <= budget
+
+    def test_monotone_in_budget(self, rng):
+        grads = {"w": rng.normal(size=2000)}
+        sel = ThresholdSelector(base_threshold=0.1)
+        levels = [fit_level_to_budget(sel, grads, b) for b in (100, 2000, 50000)]
+        assert levels == sorted(levels)
+
+    def test_planner_with_alternative_selector(self, rng):
+        planner = TransmissionPlanner(MaxNConfig(selector="topk"))
+        grads = {"w": rng.normal(size=3000).astype(np.float32)}
+        plans = planner.plan(grads, {1: 50.0, 2: 0.5}, iter_time_s=0.01)
+        assert plans[1][1]["w"][0].size >= plans[2][1]["w"][0].size
+
+    def test_planner_selector_config_validation(self):
+        with pytest.raises(ValueError):
+            MaxNConfig(selector="dct")

@@ -1,0 +1,154 @@
+"""Focused tests for Worker module behaviour inside a live engine."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.messages import (
+    DktRequestMessage,
+    GradientMessage,
+    LossShareMessage,
+    RcpShareMessage,
+    WeightMessage,
+)
+from repro.core.config import GbsConfig, LbsConfig, TrainConfig
+from repro.core.engine import TrainingEngine
+
+
+@pytest.fixture
+def engine(fast_config, tiny_topology):
+    return TrainingEngine(fast_config, tiny_topology, seed=0)
+
+
+class TestBatchSizeModules:
+    def test_profiling_populates_rcp_table_and_costs_time(self, engine):
+        w = engine.workers[0]
+        cost = w.run_profiling()
+        assert cost > 0
+        assert 0 in w.rcp_table
+        assert w.rcp_table[0] > 1
+
+    def test_rcp_share_updates_peer_table(self, engine):
+        w = engine.workers[1]
+        w.rcp_table[1] = 100.0
+        w.on_rcp_share(RcpShareMessage(sender=0, rcp=300.0))
+        assert w.rcp_table[0] == 300.0
+
+    def test_recompute_lbs_uses_eq5(self, engine):
+        w = engine.workers[0]
+        w.gbs = 60
+        w.rcp_table = {0: 30.0, 1: 20.0, 2: 10.0}
+        w.recompute_lbs()
+        assert w.lbs == 30  # 60 * 30/60
+
+    def test_set_gbs_propagates_to_lbs(self, engine):
+        w = engine.workers[0]
+        w.rcp_table = {0: 1.0, 1: 1.0, 2: 1.0}
+        w.set_gbs(90)
+        assert w.lbs == 30
+
+    def test_set_gbs_rejects_too_small(self, engine):
+        with pytest.raises(ValueError):
+            engine.workers[0].set_gbs(2)
+
+    def test_even_split_when_lbs_disabled(self, fast_config, tiny_topology):
+        cfg = fast_config.with_(lbs=LbsConfig(enabled=False))
+        engine = TrainingEngine(cfg, tiny_topology, seed=0)
+        w = engine.workers[0]
+        w.set_gbs(90)
+        assert w.lbs == 30
+
+
+class TestModelUpdateModule:
+    def test_dense_gradient_applied_with_db_weight(self, engine):
+        w = engine.workers[0]
+        w.lbs = 10
+        name = w.model.variable_names[0]
+        before = w.model.get_variable(name).copy()
+        g = {name: np.ones_like(before)}
+        msg = GradientMessage(sender=1, iteration=1, lbs=20, dense=g)
+        w.on_gradient_message(msg)
+        # coeff = db(20,10)/n = 2/3; lr = 0.1
+        expected = before - 0.1 * (2.0 / 3.0)
+        np.testing.assert_allclose(w.model.get_variable(name), expected, rtol=1e-5)
+
+    def test_sparse_gradient_applied(self, engine):
+        w = engine.workers[0]
+        w.lbs = 8
+        name = w.model.variable_names[0]
+        before = w.model.get_variable(name).copy()
+        idx = np.array([0], dtype=np.int64)
+        vals = np.array([2.0], dtype=np.float32)
+        msg = GradientMessage(sender=2, iteration=1, lbs=8, sparse={name: (idx, vals)})
+        w.on_gradient_message(msg)
+        # db = 1, coeff = 1/3
+        assert w.model.get_variable(name).reshape(-1)[0] == pytest.approx(
+            before.reshape(-1)[0] - 0.1 * 2.0 / 3.0, rel=1e-5
+        )
+
+    def test_received_iteration_tracking_monotone(self, engine):
+        w = engine.workers[0]
+        for it in (3, 1, 5):
+            msg = GradientMessage(sender=1, iteration=it, lbs=8, sparse={})
+            w.on_gradient_message(msg)
+        assert w.sync_state.received_from[1] == 5
+
+    def test_message_arrival_wakes_waiting_worker(self, fast_config, tiny_topology):
+        cfg = fast_config.with_(system="baseline")
+        engine = TrainingEngine(cfg, tiny_topology, seed=0)
+        w = engine.workers[0]
+        w.iteration = 1
+        w.sync_state.iteration = 1
+        w.waiting = True
+        # lockstep needs iteration-0 gradients from both peers
+        for peer in (1, 2):
+            w.on_gradient_message(
+                GradientMessage(sender=peer, iteration=1, lbs=8, sparse={})
+            )
+        assert w.computing  # it started the next iteration
+
+
+class TestModelSynchronizationModule:
+    def test_loss_share_recorded(self, engine):
+        w = engine.workers[0]
+        w.on_loss_share(LossShareMessage(sender=2, iteration=5, avg_loss=0.42))
+        assert w.dkt.shared_losses[2] == 0.42
+
+    def test_dkt_request_ships_weight_snapshot(self, engine):
+        w0, w1 = engine.workers[0], engine.workers[1]
+        w0.on_dkt_request(DktRequestMessage(sender=1, iteration=3))
+        # a weight message is now in flight on link 0->1
+        engine.clock.run_until(engine.clock.now + 30.0)
+        assert w1.dkt.merges_applied == 1
+
+    def test_weight_message_merges_toward_best(self, engine):
+        w = engine.workers[0]
+        name = w.model.variable_names[0]
+        local_before = w.model.get_variable(name).copy()
+        best = {n: np.zeros_like(v) for n, v in w.model.variables().items()}
+        w.on_weight_message(WeightMessage(sender=1, iteration=9, weights=best))
+        merged = w.model.get_variable(name)
+        # lambda = 0.75 pulls 75% toward zero
+        np.testing.assert_allclose(merged, 0.25 * local_before, rtol=1e-5)
+
+    def test_snapshot_is_detached_from_live_model(self, engine):
+        w0 = engine.workers[0]
+        w0.on_dkt_request(DktRequestMessage(sender=1, iteration=1))
+        name = w0.model.variable_names[0]
+        # mutating the live model after the snapshot must not affect the
+        # in-flight message; mutate and deliver.
+        w0.model.get_variable(name)[...] = 123.0
+        engine.clock.run_until(engine.clock.now + 30.0)
+        w1 = engine.workers[1]
+        assert not np.allclose(w1.model.get_variable(name), 123.0 * 0.75)
+
+
+class TestIterationTimeEstimate:
+    def test_default_before_measurement(self, engine):
+        assert engine.workers[0].iter_time_estimate() == pytest.approx(1.0)
+
+    def test_ema_after_iterations(self, fast_config, tiny_topology):
+        engine = TrainingEngine(fast_config, tiny_topology, seed=0)
+        engine.run(10.0)
+        w = engine.workers[0]
+        est = w.iter_time_estimate()
+        assert 0.001 < est < 1.0

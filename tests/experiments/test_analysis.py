@@ -1,0 +1,93 @@
+"""Tests for run summaries and statistical comparisons."""
+
+import math
+
+import pytest
+
+from repro.core.engine import TrainingEngine
+from repro.experiments.analysis import (
+    link_utilization,
+    summarize,
+    welch_comparison,
+)
+
+
+@pytest.fixture(scope="module")
+def short_result():
+    import numpy as np  # noqa: F401  (fixture-scope import)
+    from repro.cluster.topology import ClusterTopology
+    from repro.core.config import DktConfig, GbsConfig, LbsConfig, TrainConfig
+
+    topo = ClusterTopology.build(
+        cores=[8, 4, 2], bandwidth=[20.0, 10.0, 5.0],
+        per_core_rate=16.0, overhead=0.02, jitter=0.0,
+    )
+    cfg = TrainConfig(
+        model="mlp",
+        model_kwargs={"in_dim": 576, "hidden": (32,)},
+        train_size=240,
+        test_size=80,
+        eval_subset=80,
+        initial_lbs=8,
+        gbs=GbsConfig(update_period_s=5.0),
+        lbs=LbsConfig(probe_batches=(4, 8), probe_repeats=1),
+        dkt=DktConfig(period_iters=10),
+        eval_period_iters=10,
+    )
+    return TrainingEngine(cfg, topo, seed=0).run(20.0)
+
+
+class TestSummarize:
+    def test_consistency_with_result(self, short_result):
+        s = summarize(short_result)
+        assert s.total_iterations == sum(short_result.iterations)
+        assert s.final_accuracy == short_result.final_mean_accuracy()
+        assert s.epochs == short_result.epochs
+        assert s.iterations_per_second == pytest.approx(
+            s.total_iterations / short_result.horizon
+        )
+
+    def test_rows_render(self, short_result):
+        rows = summarize(short_result).rows()
+        assert len(rows) == 9
+        assert rows[0][0] == "final accuracy"
+
+
+class TestLinkUtilization:
+    def test_all_links_present_and_positive(self, short_result):
+        util = link_utilization(short_result)
+        assert len(util) == 6  # 3 workers, full mesh
+        assert all(v >= 0 for v in util.values())
+
+    def test_matches_totals(self, short_result):
+        util = link_utilization(short_result)
+        total = sum(util.values()) * short_result.horizon
+        assert total == pytest.approx(sum(short_result.link_bytes.values()) / 1e6)
+
+
+class TestWelch:
+    def test_clearly_different_samples(self):
+        cmp = welch_comparison([0.9, 0.91, 0.89], [0.5, 0.52, 0.48])
+        assert cmp.significant_at_05
+        assert cmp.mean_a > cmp.mean_b
+
+    def test_identical_samples_not_significant(self):
+        cmp = welch_comparison([0.7, 0.71, 0.69], [0.7, 0.71, 0.69])
+        assert not cmp.significant_at_05
+
+    def test_single_seed_equal(self):
+        cmp = welch_comparison([0.8], [0.8])
+        assert cmp.p_value == 1.0
+
+    def test_single_seed_different(self):
+        cmp = welch_comparison([0.8], [0.6])
+        assert cmp.p_value == 0.0
+        assert math.isinf(cmp.t_statistic)
+
+    def test_zero_variance_both_different_means(self):
+        cmp = welch_comparison([0.8, 0.8], [0.6, 0.6])
+        assert cmp.p_value == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            welch_comparison([], [0.5])

@@ -1,0 +1,102 @@
+"""Tests for curve resampling, smoothing, and aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.curves import align_and_average, auc, ema, resample
+from repro.utils.metrics import TimeSeries
+
+
+def series(pairs):
+    s = TimeSeries()
+    for t, v in pairs:
+        s.append(t, v)
+    return s
+
+
+class TestResample:
+    def test_locf_semantics(self):
+        s = series([(1, 0.1), (3, 0.5), (5, 0.9)])
+        out = resample(s, np.array([0, 1, 2, 3, 4, 5, 6], dtype=float))
+        np.testing.assert_allclose(out, [0.1, 0.1, 0.1, 0.5, 0.5, 0.9, 0.9])
+
+    def test_exact_sample_times(self):
+        s = series([(0, 0.0), (10, 1.0)])
+        out = resample(s, np.array([0.0, 10.0]))
+        np.testing.assert_allclose(out, [0.0, 1.0])
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            resample(TimeSeries(), np.array([0.0]))
+
+    def test_decreasing_grid_rejected(self):
+        s = series([(0, 0.0)])
+        with pytest.raises(ValueError):
+            resample(s, np.array([1.0, 0.0]))
+
+
+class TestEma:
+    def test_constant_input_unchanged(self):
+        out = ema(np.full(10, 0.7), alpha=0.3)
+        np.testing.assert_allclose(out, 0.7)
+
+    def test_smooths_toward_input(self):
+        raw = np.array([0.0, 1.0, 0.0, 1.0, 0.0])
+        out = ema(raw, alpha=0.5)
+        assert out.std() < raw.std()
+
+    def test_alpha_one_is_identity(self):
+        raw = np.array([0.2, 0.9, 0.4])
+        np.testing.assert_allclose(ema(raw, alpha=1.0), raw)
+
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            ema(np.array([1.0]), alpha=0.0)
+
+
+class TestAlignAndAverage:
+    def test_mean_of_identical_runs(self):
+        runs = [series([(0, 0.0), (10, 1.0)]) for _ in range(3)]
+        grid, mean, std = align_and_average(runs, points=5)
+        assert grid[0] == 0.0 and grid[-1] == 10.0
+        np.testing.assert_allclose(std, 0.0)
+        assert mean[-1] == 1.0
+
+    def test_grid_spans_shortest_run(self):
+        runs = [series([(0, 0.1), (20, 0.9)]), series([(0, 0.2), (10, 0.8)])]
+        grid, _, _ = align_and_average(runs, points=4)
+        assert grid[-1] == 10.0
+
+    def test_std_reflects_disagreement(self):
+        runs = [series([(0, 0.0), (10, 0.0)]), series([(0, 1.0), (10, 1.0)])]
+        _, mean, std = align_and_average(runs, points=3)
+        np.testing.assert_allclose(mean, 0.5)
+        np.testing.assert_allclose(std, 0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            align_and_average([])
+
+
+class TestAuc:
+    def test_constant_curve(self):
+        s = series([(0, 0.5), (10, 0.5)])
+        assert auc(s, horizon=10.0) == pytest.approx(0.5)
+
+    def test_step_curve(self):
+        # 0.0 until t=5, then 1.0 until t=10 -> mean 0.5
+        s = series([(0, 0.0), (5, 1.0)])
+        assert auc(s, horizon=10.0) == pytest.approx(0.5)
+
+    def test_late_first_sample_counts_as_first_value(self):
+        s = series([(5, 0.4)])
+        assert auc(s, horizon=10.0) == pytest.approx(0.4)
+
+    def test_better_curve_has_higher_auc(self):
+        fast = series([(0, 0.0), (2, 0.8), (10, 0.9)])
+        slow = series([(0, 0.0), (8, 0.8), (10, 0.9)])
+        assert auc(fast, horizon=10.0) > auc(slow, horizon=10.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            auc(TimeSeries())

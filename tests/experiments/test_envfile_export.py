@@ -1,0 +1,132 @@
+"""Tests for custom environment files and result export."""
+
+import json
+
+import pytest
+
+from repro.cluster.traces import ConstantTrace, PiecewiseTrace
+from repro.experiments.envfile import load_environment, parse_environment, trace_from_spec
+from repro.experiments.export import result_to_dict, write_accuracy_csv, write_json
+
+
+VALID_DOC = {
+    "name": "my-cluster",
+    "platform": "cpu",
+    "workers": [
+        {"cores": 24, "bandwidth": 50},
+        {"cores": [[0, 24], [300, 12]], "bandwidth": [[0, 50], [300, 20]]},
+        {"cores": 6, "bandwidth": 20},
+    ],
+}
+
+
+class TestTraceFromSpec:
+    def test_scalar(self):
+        t = trace_from_spec(24)
+        assert isinstance(t, ConstantTrace)
+        assert t.value_at(100.0) == 24.0
+
+    def test_piecewise(self):
+        t = trace_from_spec([[0, 24], [300, 12]])
+        assert isinstance(t, PiecewiseTrace)
+        assert t.value_at(299) == 24 and t.value_at(300) == 12
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            trace_from_spec("fast")
+        with pytest.raises(ValueError):
+            trace_from_spec([[0, 1, 2]])
+
+
+class TestParseEnvironment:
+    def test_valid_document(self):
+        spec, cores, bandwidths = parse_environment(VALID_DOC)
+        assert spec.name == "my-cluster"
+        assert spec.platform == "cpu"
+        assert len(cores) == 3
+        assert cores[0] == 24.0
+        assert isinstance(cores[1], PiecewiseTrace)
+        assert isinstance(bandwidths[1], PiecewiseTrace)
+
+    def test_missing_name(self):
+        doc = dict(VALID_DOC)
+        del doc["name"]
+        with pytest.raises(ValueError, match="name"):
+            parse_environment(doc)
+
+    def test_too_few_workers(self):
+        doc = dict(VALID_DOC)
+        doc["workers"] = doc["workers"][:1]
+        with pytest.raises(ValueError, match="workers"):
+            parse_environment(doc)
+
+    def test_worker_missing_fields(self):
+        doc = json.loads(json.dumps(VALID_DOC))
+        del doc["workers"][0]["cores"]
+        with pytest.raises(ValueError, match="cores"):
+            parse_environment(doc)
+
+    def test_bad_platform(self):
+        doc = dict(VALID_DOC)
+        doc["platform"] = "tpu"
+        with pytest.raises(ValueError, match="platform"):
+            parse_environment(doc)
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "env.json"
+        path.write_text(json.dumps(VALID_DOC))
+        spec, cores, bandwidths = load_environment(path)
+        assert spec.name == "my-cluster"
+
+    def test_load_invalid_json(self, tmp_path):
+        path = tmp_path / "env.json"
+        path.write_text("{nope")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            load_environment(path)
+
+
+class TestExport:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.cluster.topology import ClusterTopology
+        from repro.core.config import DktConfig, GbsConfig, LbsConfig, TrainConfig
+        from repro.core.engine import TrainingEngine
+
+        topo = ClusterTopology.build(
+            cores=[8, 4], bandwidth=[20.0, 10.0], per_core_rate=16.0,
+            overhead=0.02, jitter=0.0,
+        )
+        cfg = TrainConfig(
+            model="mlp",
+            model_kwargs={"in_dim": 576, "hidden": (32,)},
+            train_size=200, test_size=60, eval_subset=60, initial_lbs=8,
+            gbs=GbsConfig(update_period_s=5.0),
+            lbs=LbsConfig(probe_batches=(4, 8), probe_repeats=1),
+            dkt=DktConfig(period_iters=10),
+            eval_period_iters=10,
+        )
+        return TrainingEngine(cfg, topo, seed=0).run(15.0)
+
+    def test_dict_roundtrips_through_json(self, result):
+        doc = result_to_dict(result)
+        text = json.dumps(doc)
+        back = json.loads(text)
+        assert back["n_workers"] == 2
+        assert back["final_mean_accuracy"] == pytest.approx(
+            result.final_mean_accuracy()
+        )
+        assert len(back["accuracy"]) == 2
+        assert "0->1" in back["link_bytes"]
+
+    def test_write_json(self, result, tmp_path):
+        path = tmp_path / "run.json"
+        write_json(result, path)
+        doc = json.loads(path.read_text())
+        assert doc["horizon"] == pytest.approx(result.horizon)
+
+    def test_write_accuracy_csv(self, result, tmp_path):
+        path = tmp_path / "acc.csv"
+        write_accuracy_csv(result, path)
+        lines = path.read_text().splitlines()
+        assert lines[0] == "worker,time_s,accuracy"
+        assert len(lines) == 1 + sum(len(s) for s in result.accuracy)

@@ -1,0 +1,64 @@
+"""Tests for the Table 3 environment presets."""
+
+import pytest
+
+from repro.experiments.environments import ENVIRONMENTS, EnvSpec, get_environment
+
+
+class TestTable3Coverage:
+    def test_all_table3_rows_present(self):
+        expected = {
+            "Homo A", "Homo B", "Homo C",
+            "Hetero CPU A", "Hetero CPU B",
+            "Hetero NET A", "Hetero NET B",
+            "Hetero SYS A", "Hetero SYS B", "Hetero SYS C",
+            "Dynamic SYS A", "Dynamic SYS B",
+        }
+        assert expected <= set(ENVIRONMENTS)
+
+    def test_paper_core_counts(self):
+        assert get_environment("Hetero CPU A").cores == (24, 24, 12, 12, 6, 6)
+        assert get_environment("Hetero CPU B").cores == (24, 24, 24, 24, 24, 4)
+
+    def test_paper_bandwidths(self):
+        assert get_environment("Hetero NET A").bandwidth == (50, 50, 35, 35, 20, 20)
+        assert get_environment("Hetero SYS B").bandwidth == (20, 20, 35, 35, 50, 50)
+        assert get_environment("Hetero SYS C").bandwidth == (190, 190, 140, 140, 100, 100)
+
+    def test_gpu_environments_marked(self):
+        assert get_environment("Homo C").platform == "gpu"
+        assert get_environment("Hetero SYS C").platform == "gpu"
+        assert get_environment("Homo A").platform == "cpu"
+
+    def test_gpu_unit_counts(self):
+        # 2x p2.8xlarge (8 GPUs) + 4x p2.xlarge (1 GPU)
+        assert get_environment("Hetero SYS C").cores == (8, 8, 1, 1, 1, 1)
+
+    def test_dynamic_envs_reference_real_phases(self):
+        for name in ("Dynamic SYS A", "Dynamic SYS B"):
+            env = get_environment(name)
+            assert env.dynamic
+            assert len(env.phases) == 3
+            for phase in env.phases:
+                assert phase in ENVIRONMENTS
+
+    def test_dynamic_b_reverses_a(self):
+        a = get_environment("Dynamic SYS A").phases
+        b = get_environment("Dynamic SYS B").phases
+        assert b == tuple(reversed(a))
+
+    def test_unknown_environment(self):
+        with pytest.raises(ValueError):
+            get_environment("Homo Z")
+
+    def test_static_envs_have_six_workers(self):
+        for env in ENVIRONMENTS.values():
+            if not env.dynamic:
+                assert len(env.cores) == 6
+                assert len(env.bandwidth) == 6
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            EnvSpec(name="bad", platform="tpu")
+        with pytest.raises(ValueError):
+            EnvSpec(name="bad", platform="cpu", cores=(1,), bandwidth=(1,))

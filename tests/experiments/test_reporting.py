@@ -1,0 +1,35 @@
+"""Tests for the ASCII reporting helpers."""
+
+from repro.experiments.reporting import FigureResult, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "long header"], [[1, 2.5], ["xx", None]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        # all rows equally wide
+        assert len({len(l) for l in lines}) == 1
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.123456]])
+        assert "0.123" in out
+
+    def test_none_renders_dash(self):
+        out = format_table(["v"], [[None]])
+        assert "-" in out.splitlines()[-1]
+
+
+class TestFigureResult:
+    def test_render_contains_everything(self):
+        fr = FigureResult(
+            figure="Fig. X",
+            title="test",
+            header=["k", "v"],
+            rows=[["a", 1.0]],
+            notes=["a note"],
+        )
+        out = fr.render()
+        assert "Fig. X" in out
+        assert "a note" in out
+        assert "1.000" in out

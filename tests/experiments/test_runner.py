@@ -1,0 +1,140 @@
+"""Tests for workload calibration, config building, and topology scaling."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import TrainingEngine
+from repro.experiments.environments import get_environment
+from repro.experiments.runner import (
+    RunSpec,
+    SYSTEM_VARIANTS,
+    build_config,
+    build_topology,
+    cpu_workload,
+    gpu_workload,
+    run_experiment,
+)
+
+
+class TestWorkloads:
+    def test_cpu_workload_fast_mode(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        w = cpu_workload()
+        assert w.model == "mlp"
+        assert w.time_scale == 0.25
+        assert w.horizon() == pytest.approx(375.0)
+
+    def test_cpu_workload_full_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "full")
+        w = cpu_workload()
+        assert w.model == "cipher"
+        assert w.horizon() == pytest.approx(1500.0)
+
+    def test_gpu_full_mode_stays_compressed(self, monkeypatch):
+        # simulating 2 h of GPU-rate iterations is wall-infeasible and
+        # dynamically redundant; full mode keeps a 10x compression.
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "full")
+        w = gpu_workload()
+        assert w.model == "mobilenet"
+        assert w.horizon() == pytest.approx(720.0)
+
+    def test_invalid_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "turbo")
+        with pytest.raises(ValueError):
+            cpu_workload().time_scale
+
+    def test_wire_scale_preserves_comm_compute_ratio(self):
+        w = cpu_workload()
+        # scaled bandwidth divided by our model bytes equals paper
+        # bandwidth divided by paper model bytes
+        ours = 50.0 * w.wire_scale() / w.model_bytes()
+        paper = 50.0 / (w.paper_model_mb * 1e6)
+        assert ours == pytest.approx(paper)
+
+    def test_gpu_workload_is_network_bound(self):
+        w = gpu_workload()
+        # one dense model exchange at scaled LAN speed must exceed the
+        # iteration time (the severe-bottleneck regime of §5.2.2)
+        transfer_s = w.model_bytes() * 8 / (1000.0 * w.wire_scale() * 1e6)
+        iter_s = w.overhead + 32 / (8 * w.per_unit_rate)  # p2.8xlarge
+        assert transfer_s > iter_s
+
+
+class TestBuildConfig:
+    def test_all_variants_build(self):
+        w = cpu_workload()
+        for variant in SYSTEM_VARIANTS:
+            cfg = build_config(variant, w)
+            assert cfg.lr == w.lr
+
+    def test_baselines_have_dlion_features_off(self):
+        cfg = build_config("hop", cpu_workload())
+        assert not cfg.gbs.enabled
+        assert not cfg.lbs.enabled
+        assert not cfg.dkt.enabled
+        assert not cfg.weighted_update
+        assert cfg.system == "hop"
+
+    def test_dlion_has_features_on(self):
+        cfg = build_config("dlion", cpu_workload())
+        assert cfg.gbs.enabled and cfg.lbs.enabled and cfg.dkt.enabled
+        assert cfg.weighted_update
+
+    def test_ablations(self):
+        no_wu = build_config("dlion-no-wu", cpu_workload())
+        assert not no_wu.weighted_update and no_wu.lbs.enabled
+        no_dbwu = build_config("dlion-no-dbwu", cpu_workload())
+        assert not no_dbwu.lbs.enabled and not no_dbwu.weighted_update
+        assert no_dbwu.dkt.enabled  # DKT stays on in this ablation
+        max10 = build_config("dlion-max10", cpu_workload())
+        assert max10.maxn.fixed_n == 10.0
+        assert not max10.dkt.enabled
+
+    def test_overrides_win(self):
+        cfg = build_config("dlion", cpu_workload(), lr=0.9)
+        assert cfg.lr == 0.9
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            build_config("dlion-turbo", cpu_workload())
+
+
+class TestBuildTopology:
+    def test_static_env_scaled_bandwidth(self):
+        w = cpu_workload()
+        topo = build_topology(get_environment("Hetero NET A"), w)
+        bw01 = topo.network.link(0, 1).bandwidth_at(0.0)
+        assert bw01 == pytest.approx(50.0 * w.wire_scale())
+
+    def test_compute_profile_from_cores(self):
+        w = cpu_workload()
+        topo = build_topology(get_environment("Hetero CPU A"), w)
+        assert topo.compute[0].rate_at(0) == pytest.approx(24 * w.per_unit_rate)
+        assert topo.compute[5].rate_at(0) == pytest.approx(6 * w.per_unit_rate)
+
+    def test_dynamic_env_has_phase_traces(self):
+        w = cpu_workload()
+        topo = build_topology(get_environment("Dynamic SYS A"), w)
+        dur = w.phase_duration()
+        # Phase 1 = Homo B (24 cores); phase 2 = Hetero SYS A (worker 5: 6 cores)
+        assert topo.compute[5].cores.value_at(0.0) == 24
+        assert topo.compute[5].cores.value_at(dur + 1) == 6
+        # Link 0-5 bandwidth: Homo B -> 50; Hetero SYS A -> min(50, 20) = 20
+        ws = w.wire_scale()
+        link = topo.network.link(0, 5)
+        assert link.bandwidth_at(0.0) == pytest.approx(50 * ws)
+        assert link.bandwidth_at(dur + 1) == pytest.approx(20 * ws)
+
+
+class TestRunExperiment:
+    def test_short_run_end_to_end(self):
+        spec = RunSpec(
+            environment="Homo A",
+            system="baseline",
+            seed=0,
+            horizon=20.0,
+            config_overrides={"train_size": 600, "test_size": 100, "eval_subset": 100},
+        )
+        res = run_experiment(spec)
+        assert res.final_mean_accuracy() > 0.0
+        assert all(it > 0 for it in res.iterations)

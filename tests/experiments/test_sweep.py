@@ -1,0 +1,72 @@
+"""Tests for the generic sweep utility."""
+
+import pytest
+
+from repro.experiments.sweep import SweepPoint, grid_sweep, render_sweep
+
+_FAST = {
+    "train_size": 400,
+    "test_size": 100,
+    "eval_subset": 100,
+}
+
+
+class TestGridSweep:
+    def test_cartesian_product_size(self):
+        points = grid_sweep(
+            "Homo A",
+            "baseline",
+            {"lr": [0.05, 0.1], "initial_lbs": [8, 16]},
+            horizon=8.0,
+            base_overrides=_FAST,
+        )
+        assert len(points) == 4
+        assert {tuple(sorted(p.params.items())) for p in points} == {
+            (("initial_lbs", 8), ("lr", 0.05)),
+            (("initial_lbs", 8), ("lr", 0.1)),
+            (("initial_lbs", 16), ("lr", 0.05)),
+            (("initial_lbs", 16), ("lr", 0.1)),
+        }
+
+    def test_results_per_seed(self):
+        points = grid_sweep(
+            "Homo A",
+            "baseline",
+            {"lr": [0.1]},
+            seeds=(0, 1),
+            horizon=8.0,
+            base_overrides=_FAST,
+        )
+        assert len(points[0].results) == 2
+        assert all(a >= 0 for a in points[0].accuracies())
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            grid_sweep("Homo A", "baseline", {})
+
+    def test_no_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            grid_sweep("Homo A", "baseline", {"lr": [0.1]}, seeds=())
+
+
+class TestRenderSweep:
+    def test_sorted_best_first(self):
+        a = SweepPoint(params={"lr": 0.1})
+        b = SweepPoint(params={"lr": 0.2})
+
+        class Fake:
+            def __init__(self, acc):
+                self._acc = acc
+
+            def final_mean_accuracy(self):
+                return self._acc
+
+        a.results = [Fake(0.5)]
+        b.results = [Fake(0.9)]
+        fig = render_sweep([a, b])
+        assert fig.rows[0][0] == "0.2"
+        assert fig.rows[0][1] == pytest.approx(0.9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_sweep([])

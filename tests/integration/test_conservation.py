@@ -1,0 +1,76 @@
+"""Conservation and accounting invariants across a full engine run."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.config import DktConfig, GbsConfig, LbsConfig, TrainConfig
+from repro.core.engine import TrainingEngine
+
+
+@pytest.fixture(scope="module")
+def run():
+    topo = ClusterTopology.build(
+        cores=[8, 4, 2], bandwidth=[20.0, 10.0, 5.0],
+        per_core_rate=16.0, overhead=0.02, jitter=0.0,
+    )
+    cfg = TrainConfig(
+        model="mlp",
+        model_kwargs={"in_dim": 576, "hidden": (32,)},
+        train_size=240,
+        test_size=80,
+        eval_subset=80,
+        initial_lbs=8,
+        gbs=GbsConfig(update_period_s=5.0),
+        lbs=LbsConfig(probe_batches=(4, 8), probe_repeats=1, profile_period_iters=40),
+        dkt=DktConfig(period_iters=10),
+        eval_period_iters=10,
+    )
+    engine = TrainingEngine(cfg, topo, seed=0)
+    result = engine.run(25.0)
+    return engine, result
+
+
+class TestAccounting:
+    def test_gradient_bytes_recorded_match_link_counters(self, run):
+        engine, result = run
+        # Engine-side per-link byte ledger covers gradient traffic only;
+        # the links themselves also carry control + weight messages, so
+        # link counters must be >= the gradient ledger, never less.
+        for (src, dst), nbytes in result.link_bytes.items():
+            assert engine.topology.network.link(src, dst).bytes_sent >= nbytes
+
+    def test_loss_series_length_matches_iterations(self, run):
+        _, result = run
+        for w in range(result.n_workers):
+            assert len(result.loss[w]) == result.iterations[w]
+
+    def test_epoch_accounting(self, run):
+        engine, result = run
+        drawn = sum(w.sampler.samples_drawn for w in engine.workers)
+        assert result.epochs == pytest.approx(drawn / engine.dataset.train_size)
+
+    def test_every_worker_evaluated_at_finalize(self, run):
+        _, result = run
+        for series in result.accuracy:
+            assert series.times[-1] == pytest.approx(result.horizon)
+
+    def test_messages_sent_equals_peer_count_times_iterations(self, run):
+        engine, result = run
+        for w in engine.workers:
+            assert w.stats_grad_msgs_sent == w.iteration * (engine.n_workers - 1)
+
+    def test_all_sent_messages_eventually_received(self, run):
+        engine, result = run
+        # After the horizon there may be a few in-flight stragglers; run
+        # the clock dry and check totals match.
+        engine.clock.run(max_events=100_000)
+        sent = sum(w.stats_grad_msgs_sent for w in engine.workers)
+        received = sum(w.stats_grad_msgs_received for w in engine.workers)
+        assert received == sent
+
+    def test_weights_stay_finite(self, run):
+        engine, _ = run
+        for w in engine.workers:
+            for v in w.model.variables().values():
+                assert np.isfinite(v).all()

@@ -1,0 +1,97 @@
+"""Metamorphic tests: known transformations with predictable effects.
+
+Each test runs a small experiment twice with one physical knob changed
+and asserts the directional consequence — the level of validation a
+simulator needs beyond unit tests on its parts.
+"""
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.config import DktConfig, GbsConfig, LbsConfig, MaxNConfig, TrainConfig
+from repro.core.engine import TrainingEngine
+
+CFG = TrainConfig(
+    model="mlp",
+    model_kwargs={"in_dim": 576, "hidden": (32,)},
+    train_size=240,
+    test_size=60,
+    eval_subset=60,
+    initial_lbs=8,
+    system="baseline",
+    gbs=GbsConfig(enabled=False),
+    lbs=LbsConfig(enabled=False),
+    maxn=MaxNConfig(enabled=False),
+    dkt=DktConfig(enabled=False),
+    weighted_update=False,
+    eval_period_iters=25,
+)
+
+
+def run(cores, bandwidth, *, horizon=30.0, cfg=CFG, **topo_kw):
+    topo = ClusterTopology.build(
+        cores=cores, bandwidth=bandwidth,
+        per_core_rate=16.0, overhead=0.02, jitter=0.0, **topo_kw,
+    )
+    return TrainingEngine(cfg, topo, seed=0).run(horizon)
+
+
+class TestComputeScaling:
+    def test_faster_cores_more_iterations(self):
+        slow = run([4, 4, 4], [50.0] * 3)
+        fast = run([16, 16, 16], [50.0] * 3)
+        assert sum(fast.iterations) > sum(slow.iterations)
+
+    def test_single_straggler_gates_lockstep(self):
+        balanced = run([8, 8, 8], [50.0] * 3)
+        gated = run([8, 8, 1], [50.0] * 3)
+        # all workers slow down to the straggler's pace under lockstep
+        assert gated.iterations[0] < balanced.iterations[0]
+
+
+class TestBandwidthScaling:
+    def test_more_bandwidth_never_fewer_iterations(self):
+        thin = run([8, 8, 8], [1.0] * 3)
+        fat = run([8, 8, 8], [100.0] * 3)
+        assert sum(fat.iterations) >= sum(thin.iterations)
+
+    def test_comm_bound_regime_is_bandwidth_limited(self):
+        # At 0.5 Mbps the model (0.3 MB dense) takes ~5 s per transfer;
+        # lockstep iteration rate must be near the transfer rate, not
+        # the compute rate.
+        thin = run([8, 8, 8], [0.5] * 3, horizon=60.0)
+        compute_only_iters = 60.0 / (0.02 + 8 / 128)
+        assert sum(thin.iterations) / 3 < 0.25 * compute_only_iters
+
+
+class TestHorizonScaling:
+    def test_double_horizon_roughly_doubles_iterations(self):
+        short = run([8, 8, 8], [50.0] * 3, horizon=20.0)
+        long = run([8, 8, 8], [50.0] * 3, horizon=40.0)
+        ratio = sum(long.iterations) / max(1, sum(short.iterations))
+        assert 1.7 < ratio < 2.3
+
+
+class TestPayloadScaling:
+    def test_smaller_maxn_floor_sends_fewer_bytes(self):
+        cfg_small = CFG.with_(
+            system="dlion", maxn=MaxNConfig(fixed_n=1.0),
+        )
+        cfg_big = CFG.with_(
+            system="dlion", maxn=MaxNConfig(fixed_n=100.0),
+        )
+        small = run([8, 8, 8], [50.0] * 3, cfg=cfg_small)
+        big = run([8, 8, 8], [50.0] * 3, cfg=cfg_big)
+        small_bpi = sum(small.link_bytes.values()) / max(1, sum(small.iterations))
+        big_bpi = sum(big.link_bytes.values()) / max(1, sum(big.iterations))
+        assert small_bpi < 0.25 * big_bpi
+
+    def test_budget_fraction_halves_payloads(self):
+        cfg_full = CFG.with_(system="dlion", maxn=MaxNConfig())
+        cfg_half = CFG.with_(system="dlion", maxn=MaxNConfig(budget_fraction=0.25))
+        # constrained links so the budget binds
+        full = run([8, 8, 8], [0.8] * 3, cfg=cfg_full)
+        half = run([8, 8, 8], [0.8] * 3, cfg=cfg_half)
+        full_bpi = sum(full.link_bytes.values()) / max(1, sum(full.iterations))
+        half_bpi = sum(half.link_bytes.values()) / max(1, sum(half.iterations))
+        assert half_bpi < full_bpi

@@ -1,0 +1,87 @@
+"""Whole-model gradient checks against numerical differentiation.
+
+These are the substrate's correctness anchor: every layer type appears
+in at least one checked model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import max_relative_grad_error
+from repro.nn.layers import (
+    BatchNorm,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Flatten,
+    GlobalAvgPool2D,
+    MaxPool2D,
+    ReLU,
+    ReLU6,
+)
+from repro.nn.model import Model
+
+TOL = 2e-4
+
+
+@pytest.fixture
+def data(rng):
+    x = rng.normal(size=(4, 1, 8, 8)).astype(np.float64)
+    y = rng.integers(0, 3, size=4)
+    return x, y
+
+
+class TestGradcheck:
+    def test_mlp(self, rng, data):
+        x, y = data
+        model = Model([Flatten(), Dense(64, 16, rng), ReLU(), Dense(16, 3, rng)])
+        assert max_relative_grad_error(model, x, y) < TOL
+
+    def test_conv_pool_stack(self, rng, data):
+        x, y = data
+        model = Model(
+            [
+                Conv2D(1, 4, 3, rng),
+                ReLU(),
+                MaxPool2D(2),
+                Conv2D(4, 6, 3, rng),
+                ReLU(),
+                Flatten(),
+                Dense(6 * 4 * 4, 3, rng),
+            ]
+        )
+        assert max_relative_grad_error(model, x, y) < TOL
+
+    def test_depthwise_separable_block(self, rng, data):
+        x, y = data
+        model = Model(
+            [
+                Conv2D(1, 4, 3, rng),
+                DepthwiseConv2D(4, 3, rng, stride=2),
+                ReLU6(),
+                Conv2D(4, 6, 1, rng, pad=0),
+                GlobalAvgPool2D(),
+                Dense(6, 3, rng),
+            ]
+        )
+        assert max_relative_grad_error(model, x, y) < TOL
+
+    def test_batchnorm_stack(self, rng, data):
+        x, y = data
+        model = Model(
+            [
+                Conv2D(1, 4, 3, rng),
+                BatchNorm(4),
+                ReLU(),
+                Flatten(),
+                Dense(4 * 8 * 8, 3, rng),
+            ]
+        )
+        assert max_relative_grad_error(model, x, y) < TOL
+
+    def test_strided_conv(self, rng, data):
+        x, y = data
+        model = Model(
+            [Conv2D(1, 4, 3, rng, stride=2), ReLU(), Flatten(), Dense(4 * 4 * 4, 3, rng)]
+        )
+        assert max_relative_grad_error(model, x, y) < TOL

@@ -1,0 +1,48 @@
+"""Tests for weight initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.initializers import glorot_uniform, he_normal, ones, zeros
+
+
+class TestHeNormal:
+    def test_shape_and_dtype(self, rng):
+        w = he_normal(rng, (64, 32), fan_in=64)
+        assert w.shape == (64, 32)
+        assert w.dtype == np.float32
+
+    def test_variance_matches_he_rule(self):
+        rng = np.random.default_rng(0)
+        w = he_normal(rng, (400, 400), fan_in=400)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 400), rel=0.05)
+        assert abs(w.mean()) < 0.01
+
+    def test_fan_in_validation(self, rng):
+        with pytest.raises(ValueError):
+            he_normal(rng, (2, 2), fan_in=0)
+
+    def test_deterministic_per_rng(self):
+        a = he_normal(np.random.default_rng(1), (8, 8), fan_in=8)
+        b = he_normal(np.random.default_rng(1), (8, 8), fan_in=8)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestGlorotUniform:
+    def test_bounds(self):
+        rng = np.random.default_rng(0)
+        w = glorot_uniform(rng, (300, 200), fan_in=300, fan_out=200)
+        limit = np.sqrt(6.0 / 500)
+        assert w.min() >= -limit and w.max() <= limit
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            glorot_uniform(rng, (2, 2), fan_in=2, fan_out=0)
+
+
+class TestConstants:
+    def test_zeros_ones(self):
+        assert zeros((3, 2)).sum() == 0
+        assert ones((4,)).sum() == 4
+        assert zeros((1,)).dtype == np.float32
+        assert ones((1,)).dtype == np.float32

@@ -1,0 +1,277 @@
+"""Unit tests for individual layers: shapes, values, and gradients.
+
+Analytic gradients are validated against central differences per layer
+through tiny single-layer models (see also ``test_gradcheck.py`` for
+whole-model checks).
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    BatchNorm,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2D,
+    MaxPool2D,
+    ReLU,
+    ReLU6,
+)
+
+
+def numeric_grad_wrt_input(layer, x, dout, eps=1e-5):
+    """Central-difference dL/dx where L = sum(forward(x) * dout)."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        lp = float((layer.forward(x, training=False) * dout).sum())
+        flat[i] = orig - eps
+        lm = float((layer.forward(x, training=False) * dout).sum())
+        flat[i] = orig
+        gflat[i] = (lp - lm) / (2 * eps)
+    return grad
+
+
+class TestDense:
+    def test_forward_values(self, rng):
+        layer = Dense(3, 2, rng)
+        layer.params["W"][...] = np.array([[1, 0], [0, 1], [1, 1]], dtype=np.float32)
+        layer.params["b"][...] = np.array([0.5, -0.5], dtype=np.float32)
+        out = layer.forward(np.array([[1.0, 2.0, 3.0]]), training=False)
+        np.testing.assert_allclose(out, [[4.5, 4.5]])
+
+    def test_backward_shapes_and_values(self, rng):
+        layer = Dense(4, 3, rng)
+        x = rng.normal(size=(5, 4)).astype(np.float64)
+        layer.forward(x, training=True)
+        dout = rng.normal(size=(5, 3))
+        dx = layer.backward(dout)
+        assert dx.shape == x.shape
+        np.testing.assert_allclose(layer.grads["W"], x.T @ dout)
+        np.testing.assert_allclose(layer.grads["b"], dout.sum(axis=0))
+        np.testing.assert_allclose(dx, dout @ layer.params["W"].T)
+
+    def test_input_grad_matches_numeric(self, rng):
+        layer = Dense(4, 3, rng)
+        x = rng.normal(size=(2, 4))
+        dout = rng.normal(size=(2, 3))
+        layer.forward(x.copy(), training=True)
+        dx = layer.backward(dout)
+        num = numeric_grad_wrt_input(layer, x.copy(), dout)
+        np.testing.assert_allclose(dx, num, atol=1e-5)
+
+    def test_backward_without_forward_raises(self, rng):
+        layer = Dense(2, 2, rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_wrong_input_shape_raises(self, rng):
+        layer = Dense(4, 2, rng)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((3, 5)), training=False)
+
+    def test_invalid_dims_raise(self, rng):
+        with pytest.raises(ValueError):
+            Dense(0, 3, rng)
+        with pytest.raises(ValueError):
+            Dense(3, 2, rng, init="unknown")
+
+
+class TestConv2D:
+    def test_output_shape(self, rng):
+        layer = Conv2D(3, 8, 3, rng)
+        out = layer.forward(rng.normal(size=(2, 3, 12, 12)).astype(np.float32), False)
+        assert out.shape == (2, 8, 12, 12)  # same-padding default
+
+    def test_stride_two(self, rng):
+        layer = Conv2D(1, 4, 3, rng, stride=2)
+        out = layer.forward(rng.normal(size=(1, 1, 8, 8)).astype(np.float32), False)
+        assert out.shape == (1, 4, 4, 4)
+
+    def test_identity_kernel(self, rng):
+        # 1x1 kernel with identity weights copies the input channel.
+        layer = Conv2D(1, 1, 1, rng, pad=0)
+        layer.params["W"][...] = 1.0
+        layer.params["b"][...] = 0.0
+        x = rng.normal(size=(1, 1, 5, 5)).astype(np.float32)
+        np.testing.assert_allclose(layer.forward(x, False), x, rtol=1e-6)
+
+    def test_known_convolution_value(self, rng):
+        layer = Conv2D(1, 1, 3, rng, pad=0)
+        layer.params["W"][...] = np.ones((1, 1, 3, 3), dtype=np.float32)
+        layer.params["b"][...] = 0.0
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = layer.forward(x, False)
+        # top-left 3x3 window sum: 0+1+2+4+5+6+8+9+10 = 45
+        assert out[0, 0, 0, 0] == pytest.approx(45.0)
+
+    def test_input_grad_matches_numeric(self, rng):
+        layer = Conv2D(2, 3, 3, rng)
+        x = rng.normal(size=(2, 2, 5, 5))
+        dout_shape = layer.forward(x.copy(), training=True).shape
+        dout = rng.normal(size=dout_shape)
+        dx = layer.backward(dout)
+        num = numeric_grad_wrt_input(layer, x.copy(), dout)
+        np.testing.assert_allclose(dx, num, atol=1e-4)
+
+    def test_too_large_kernel_raises(self, rng):
+        layer = Conv2D(1, 1, 9, rng, pad=0)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((1, 1, 4, 4)), training=False)
+
+
+class TestDepthwiseConv2D:
+    def test_no_cross_channel_mixing(self, rng):
+        layer = DepthwiseConv2D(2, 3, rng)
+        x = np.zeros((1, 2, 6, 6), dtype=np.float32)
+        x[0, 0] = 1.0  # energy only in channel 0
+        layer.params["b"][...] = 0.0
+        out = layer.forward(x, False)
+        assert np.abs(out[0, 1]).max() == 0.0
+
+    def test_output_shape_stride(self, rng):
+        layer = DepthwiseConv2D(4, 3, rng, stride=2)
+        out = layer.forward(rng.normal(size=(2, 4, 8, 8)).astype(np.float32), False)
+        assert out.shape == (2, 4, 4, 4)
+
+    def test_input_grad_matches_numeric(self, rng):
+        layer = DepthwiseConv2D(2, 3, rng)
+        x = rng.normal(size=(1, 2, 5, 5))
+        dout = rng.normal(size=layer.forward(x.copy(), training=True).shape)
+        dx = layer.backward(dout)
+        num = numeric_grad_wrt_input(layer, x.copy(), dout)
+        np.testing.assert_allclose(dx, num, atol=1e-4)
+
+
+class TestMaxPool2D:
+    def test_values(self):
+        layer = MaxPool2D(2)
+        x = np.array([[[[1, 2, 5, 6], [3, 4, 7, 8], [1, 1, 0, 0], [1, 9, 0, 2]]]],
+                     dtype=np.float32)
+        out = layer.forward(x, False)
+        np.testing.assert_allclose(out, [[[[4, 8], [9, 2]]]])
+
+    def test_backward_routes_to_argmax(self):
+        layer = MaxPool2D(2)
+        x = np.array([[[[1, 2], [3, 4]]]], dtype=np.float32)
+        layer.forward(x, training=True)
+        dx = layer.backward(np.array([[[[10.0]]]]))
+        np.testing.assert_allclose(dx, [[[[0, 0], [0, 10.0]]]])
+
+    def test_ties_route_to_single_element(self):
+        layer = MaxPool2D(2)
+        x = np.ones((1, 1, 2, 2), dtype=np.float32)
+        layer.forward(x, training=True)
+        dx = layer.backward(np.array([[[[1.0]]]]))
+        assert dx.sum() == pytest.approx(1.0)  # no double counting
+        assert (dx != 0).sum() == 1
+
+    def test_indivisible_input_raises(self):
+        with pytest.raises(ValueError):
+            MaxPool2D(2).forward(np.zeros((1, 1, 5, 5)), training=False)
+
+    def test_size_one_rejected(self):
+        with pytest.raises(ValueError):
+            MaxPool2D(1)
+
+
+class TestGlobalAvgPool2D:
+    def test_forward(self):
+        x = np.arange(8, dtype=np.float32).reshape(1, 2, 2, 2)
+        out = GlobalAvgPool2D().forward(x, False)
+        np.testing.assert_allclose(out, [[1.5, 5.5]])
+
+    def test_backward_spreads_evenly(self):
+        layer = GlobalAvgPool2D()
+        x = np.zeros((1, 1, 2, 2), dtype=np.float32)
+        layer.forward(x, training=True)
+        dx = layer.backward(np.array([[4.0]]))
+        np.testing.assert_allclose(dx, np.full((1, 1, 2, 2), 1.0))
+
+
+class TestActivations:
+    def test_relu_forward_backward(self):
+        layer = ReLU()
+        x = np.array([[-1.0, 0.0, 2.0]])
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(out, [[0, 0, 2]])
+        dx = layer.backward(np.array([[1.0, 1.0, 1.0]]))
+        np.testing.assert_allclose(dx, [[0, 0, 1]])
+
+    def test_relu6_clips_high(self):
+        layer = ReLU6()
+        x = np.array([[-1.0, 3.0, 9.0]])
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(out, [[0, 3, 6]])
+        dx = layer.backward(np.ones((1, 3)))
+        np.testing.assert_allclose(dx, [[0, 1, 0]])
+
+
+class TestBatchNorm:
+    def test_normalizes_in_training(self, rng):
+        layer = BatchNorm(4)
+        x = rng.normal(3.0, 2.0, size=(64, 4)).astype(np.float32)
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-5)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_stats_drive_inference(self, rng):
+        layer = BatchNorm(2, momentum=0.5)
+        x = rng.normal(1.0, 1.0, size=(32, 2)).astype(np.float32)
+        for _ in range(50):
+            layer.forward(x, training=True)
+        out = layer.forward(x, training=False)
+        # After convergence of running stats, inference ~ training output.
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=0.1)
+
+    def test_4d_input(self, rng):
+        layer = BatchNorm(3)
+        x = rng.normal(size=(4, 3, 5, 5)).astype(np.float32)
+        out = layer.forward(x, training=True)
+        assert out.shape == x.shape
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-5)
+
+    def test_gamma_beta_are_params(self):
+        layer = BatchNorm(4)
+        assert set(layer.params) == {"gamma", "beta"}
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            BatchNorm(0)
+        with pytest.raises(ValueError):
+            BatchNorm(4, momentum=1.5)
+
+    def test_3d_input_rejected(self):
+        with pytest.raises(ValueError):
+            BatchNorm(3).forward(np.zeros((2, 3, 4)), training=True)
+
+
+class TestFlattenDropout:
+    def test_flatten_roundtrip(self, rng):
+        layer = Flatten()
+        x = rng.normal(size=(3, 2, 4, 4))
+        out = layer.forward(x, training=True)
+        assert out.shape == (3, 32)
+        dx = layer.backward(out)
+        np.testing.assert_array_equal(dx, x)
+
+    def test_dropout_inference_identity(self, rng):
+        layer = Dropout(0.5, rng)
+        x = rng.normal(size=(4, 10))
+        np.testing.assert_array_equal(layer.forward(x, training=False), x)
+
+    def test_dropout_preserves_expectation(self, rng):
+        layer = Dropout(0.5, rng)
+        x = np.ones((200, 200))
+        out = layer.forward(x, training=True)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_dropout_rate_bounds(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(1.0, rng)

@@ -1,0 +1,90 @@
+"""Tests for the model zoo and the build_model API."""
+
+import numpy as np
+import pytest
+
+from repro.nn.models import MODEL_BUILDERS, build_model, cipher_cnn, mlp, mobilenet_slim
+
+
+class TestBuildModel:
+    def test_registry_covers_paper_workloads(self):
+        assert {"cipher", "mobilenet", "mlp"} <= set(MODEL_BUILDERS)
+
+    def test_unknown_name_raises(self, rng):
+        with pytest.raises(ValueError, match="unknown model"):
+            build_model("resnet", rng)
+
+    def test_kwargs_forwarded(self, rng):
+        m = build_model("mlp", rng, in_dim=10, hidden=(4,), num_classes=3)
+        out = m.forward(np.zeros((2, 10), dtype=np.float32))
+        assert out.shape == (2, 3)
+
+    def test_same_rng_state_same_model(self):
+        a = build_model("mlp", np.random.default_rng(5), in_dim=8, hidden=(4,))
+        b = build_model("mlp", np.random.default_rng(5), in_dim=8, hidden=(4,))
+        for n in a.variable_names:
+            np.testing.assert_array_equal(a.get_variable(n), b.get_variable(n))
+
+
+class TestCipher:
+    def test_paper_architecture(self, rng):
+        m = cipher_cnn(rng)
+        # 3 conv + 2 dense = 5 weight-bearing layers -> 10 variables.
+        assert len(m.variable_names) == 10
+        out = m.forward(np.zeros((2, 1, 24, 24), dtype=np.float32))
+        assert out.shape == (2, 10)
+
+    def test_forward_backward(self, rng):
+        m = cipher_cnn(rng, image_size=8, kernels=(3, 4, 5), hidden=16)
+        x = rng.normal(size=(4, 1, 8, 8)).astype(np.float32)
+        y = rng.integers(0, 10, size=4)
+        loss, grads = m.loss_and_grads(x, y)
+        assert np.isfinite(loss)
+        assert all(np.isfinite(g).all() for g in grads.values())
+
+    def test_indivisible_image_size_rejected(self, rng):
+        with pytest.raises(ValueError):
+            cipher_cnn(rng, image_size=30)
+
+    def test_multi_megabyte_at_defaults(self, rng):
+        # the paper's Cipher is ~5 MB; ours lands in the same ballpark
+        assert 1e6 < cipher_cnn(rng).nbytes() < 1e7
+
+
+class TestMobileNet:
+    def test_forward_shape(self, rng):
+        m = mobilenet_slim(rng, num_classes=7)
+        out = m.forward(np.zeros((2, 3, 32, 32), dtype=np.float32))
+        assert out.shape == (2, 7)
+
+    def test_width_multiplier_scales_params(self, rng):
+        thin = mobilenet_slim(np.random.default_rng(0), width=0.5)
+        wide = mobilenet_slim(np.random.default_rng(0), width=2.0)
+        assert wide.num_params() > 2 * thin.num_params()
+
+    def test_has_depthwise_structure(self, rng):
+        m = mobilenet_slim(rng)
+        names = "".join(m.variable_names)
+        assert "DepthwiseConv2D" in names
+        assert "BatchNorm" in names
+
+    def test_trains_one_step(self, rng):
+        m = mobilenet_slim(rng, num_classes=5, blocks=((8, 1), (16, 2)))
+        x = rng.normal(size=(4, 3, 16, 16)).astype(np.float32)
+        y = rng.integers(0, 5, size=4)
+        loss0, g = m.loss_and_grads(x, y)
+        m.apply_grads(g, lr=0.1)
+        loss1, _ = m.loss_and_grads(x, y)
+        assert np.isfinite(loss1)
+
+
+class TestMlp:
+    def test_accepts_image_input_via_flatten(self, rng):
+        m = mlp(rng, in_dim=1 * 24 * 24)
+        out = m.forward(np.zeros((3, 1, 24, 24), dtype=np.float32))
+        assert out.shape == (3, 10)
+
+    def test_hidden_stack(self, rng):
+        m = mlp(rng, in_dim=10, hidden=(20, 30, 40), num_classes=2)
+        dense_vars = [n for n in m.variable_names if "Dense" in n]
+        assert len(dense_vars) == 8  # 4 dense layers x (W, b)

@@ -1,0 +1,58 @@
+"""Tests for the SGD optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense
+from repro.nn.model import Model
+from repro.nn.optim import SGD
+
+
+@pytest.fixture
+def quadratic_setup(rng):
+    """A 1-layer model where the loss landscape is easy to reason about."""
+    model = Model([Dense(4, 2, rng)])
+    x = rng.normal(size=(16, 4)).astype(np.float32)
+    y = rng.integers(0, 2, size=16)
+    return model, x, y
+
+
+class TestSGD:
+    def test_plain_step_equals_apply_grads(self, quadratic_setup):
+        model, x, y = quadratic_setup
+        _, grads = model.loss_and_grads(x, y)
+        name = model.variable_names[0]
+        before = model.get_variable(name).copy()
+        SGD(model, lr=0.1).step(grads)
+        np.testing.assert_allclose(
+            model.get_variable(name), before - 0.1 * grads[name], rtol=1e-6
+        )
+
+    def test_momentum_accumulates(self, quadratic_setup):
+        model, x, y = quadratic_setup
+        opt = SGD(model, lr=0.1, momentum=0.9)
+        name = model.variable_names[0]
+        g = {n: np.ones_like(v) for n, v in model.variables().items()}
+        w0 = model.get_variable(name).copy()
+        opt.step(g)  # v = 1        -> w -= 0.1
+        opt.step(g)  # v = 1.9      -> w -= 0.19
+        np.testing.assert_allclose(
+            model.get_variable(name), w0 - 0.1 - 0.19, rtol=1e-6
+        )
+
+    def test_training_reduces_loss(self, quadratic_setup):
+        model, x, y = quadratic_setup
+        opt = SGD(model, lr=0.2, momentum=0.5)
+        loss0, g = model.loss_and_grads(x, y)
+        for _ in range(50):
+            opt.step(g)
+            _, g = model.loss_and_grads(x, y)
+        loss1, _ = model.loss_and_grads(x, y)
+        assert loss1 < loss0
+
+    def test_invalid_hyperparams(self, quadratic_setup):
+        model, _, _ = quadratic_setup
+        with pytest.raises(ValueError):
+            SGD(model, lr=0.0)
+        with pytest.raises(ValueError):
+            SGD(model, lr=0.1, momentum=1.0)

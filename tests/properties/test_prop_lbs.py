@@ -1,0 +1,57 @@
+"""Property-based tests for LBS allocation (Eq. 5)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lbs_controller import allocate_lbs
+
+rcps = st.lists(st.floats(0.0, 1e6, allow_nan=False), min_size=1, max_size=12)
+
+
+@given(rcps=rcps, gbs_mult=st.integers(1, 100))
+@settings(max_examples=200, deadline=None)
+def test_allocation_sums_to_gbs(rcps, gbs_mult):
+    gbs = len(rcps) * gbs_mult
+    alloc = allocate_lbs(gbs, rcps)
+    assert sum(alloc) == gbs
+
+
+@given(rcps=rcps, gbs_mult=st.integers(1, 100))
+@settings(max_examples=200, deadline=None)
+def test_every_worker_gets_at_least_one(rcps, gbs_mult):
+    gbs = len(rcps) * gbs_mult
+    alloc = allocate_lbs(gbs, rcps)
+    assert min(alloc) >= 1
+
+
+@given(rcps=st.lists(st.floats(0.1, 1e4), min_size=2, max_size=8), mult=st.integers(10, 50))
+@settings(max_examples=200, deadline=None)
+def test_allocation_order_follows_rcp_order(rcps, mult):
+    """A strictly more powerful worker never gets a smaller LBS."""
+    gbs = len(rcps) * mult
+    alloc = allocate_lbs(gbs, rcps)
+    for i in range(len(rcps)):
+        for j in range(len(rcps)):
+            if rcps[i] > rcps[j]:
+                assert alloc[i] >= alloc[j] - 1  # rounding slack of one
+
+
+@given(rcps=st.lists(st.floats(0.1, 1e4), min_size=2, max_size=8), mult=st.integers(2, 40))
+@settings(max_examples=200, deadline=None)
+def test_proportionality_within_rounding(rcps, mult):
+    gbs = len(rcps) * mult
+    alloc = allocate_lbs(gbs, rcps)
+    total = sum(rcps)
+    ideals = [gbs * r / total for r in rcps]
+    # The min-LBS floor may transfer units away from the largest shares:
+    # each under-floor worker can pull at most one unit per enforcement.
+    floor_slack = sum(1 for ideal in ideals if ideal < 1.0)
+    for a, ideal in zip(alloc, ideals):
+        assert abs(a - ideal) <= 1.0 + floor_slack + 1e-9
+
+
+@given(rcps=rcps, gbs_mult=st.integers(1, 20))
+@settings(max_examples=100, deadline=None)
+def test_deterministic(rcps, gbs_mult):
+    gbs = len(rcps) * gbs_mult
+    assert allocate_lbs(gbs, rcps) == allocate_lbs(gbs, rcps)

@@ -1,0 +1,68 @@
+"""Property-based tests for the event clock and link FIFO invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.network import Link
+from repro.cluster.simclock import SimClock
+
+
+@given(times=st.lists(st.floats(0.0, 1e6, allow_nan=False), min_size=1, max_size=60))
+@settings(max_examples=150, deadline=None)
+def test_events_always_fire_in_nondecreasing_time_order(times):
+    clk = SimClock()
+    fired: list[float] = []
+    for t in times:
+        clk.schedule(t, lambda t=t: fired.append(clk.now))
+    clk.run_until(1e7)
+    assert fired == sorted(fired)
+    assert len(fired) == len(times)
+
+
+@given(
+    times=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=40),
+    horizon=st.floats(0.0, 150.0),
+)
+@settings(max_examples=150, deadline=None)
+def test_run_until_processes_exactly_due_events(times, horizon):
+    clk = SimClock()
+    for t in times:
+        clk.schedule(t, lambda: None)
+    n = clk.run_until(horizon)
+    assert n == sum(1 for t in times if t <= horizon)
+    assert clk.pending() == len(times) - n
+
+
+@given(
+    payloads=st.lists(st.integers(1, 10_000_000), min_size=1, max_size=40),
+    enqueue_gaps=st.lists(st.floats(0.0, 5.0), min_size=1, max_size=40),
+    bw=st.floats(0.1, 1000.0),
+)
+@settings(max_examples=150, deadline=None)
+def test_link_transfers_never_overlap(payloads, enqueue_gaps, bw):
+    """FIFO invariant: deliveries are ordered and the link is never
+    carrying two transfers at once (each starts after the previous
+    delivery minus latency)."""
+    link = Link(0, 1, bw, latency=0.0)
+    t = 0.0
+    deliveries = []
+    for nbytes, gap in zip(payloads, enqueue_gaps):
+        t += gap
+        deliveries.append(link.enqueue_transfer(nbytes, t))
+    assert deliveries == sorted(deliveries)
+    # total serialization time is conserved
+    total_bits = sum(payloads[: len(deliveries)]) * 8
+    assert deliveries[-1] >= total_bits / (bw * 1e6) - 1e-9
+
+
+@given(
+    nbytes=st.integers(0, 10_000_000),
+    bw=st.floats(0.1, 1000.0),
+    t=st.floats(0.0, 1e4),
+)
+@settings(max_examples=150, deadline=None)
+def test_transfer_duration_proportional_to_bytes(nbytes, bw, t):
+    link = Link(0, 1, bw)
+    d = link.transfer_duration(nbytes, t)
+    assert d >= 0
+    assert d == (nbytes * 8.0) / (bw * 1e6)

@@ -1,0 +1,52 @@
+"""Property-based tests for the transmission budget fit."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.cluster.messages import sparse_payload_bytes
+from repro.core.maxn import select_payload
+from repro.core.transmission import fit_n_to_budget
+
+grad_dicts = st.dictionaries(
+    keys=st.sampled_from(["w1", "w2", "w3"]),
+    values=hnp.arrays(
+        dtype=np.float64,
+        shape=st.integers(1, 400),
+        elements=st.floats(-1e3, 1e3, allow_nan=False, width=64),
+    ),
+    min_size=1,
+    max_size=3,
+)
+
+
+@given(grads=grad_dicts, budget=st.floats(1.0, 1e7))
+@settings(max_examples=150, deadline=None)
+def test_chosen_n_in_bounds(grads, budget):
+    n = fit_n_to_budget(grads, budget)
+    assert 0.85 <= n <= 100.0
+
+
+@given(grads=grad_dicts, budget=st.floats(1.0, 1e7))
+@settings(max_examples=150, deadline=None)
+def test_payload_fits_budget_unless_floored(grads, budget):
+    """The fitted N's exact payload never exceeds the budget, except
+    when the quality floor n_min forces a minimum payload."""
+    n = fit_n_to_budget(grads, budget)
+    if n > 0.85 + 1e-9:
+        size = sparse_payload_bytes(select_payload(grads, n))
+        assert size <= budget
+
+
+@given(grads=grad_dicts, b1=st.floats(1.0, 1e6), b2=st.floats(1.0, 1e6))
+@settings(max_examples=150, deadline=None)
+def test_monotone_in_budget(grads, b1, b2):
+    lo, hi = sorted((b1, b2))
+    assert fit_n_to_budget(grads, lo) <= fit_n_to_budget(grads, hi) + 1e-9
+
+
+@given(grads=grad_dicts)
+@settings(max_examples=80, deadline=None)
+def test_infinite_budget_sends_everything(grads):
+    assert fit_n_to_budget(grads, 1e12) == 100.0

@@ -1,0 +1,117 @@
+"""Property-based tests for the update mathematics (Eq. 4/7, DKT merge)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.dkt import merge_weights
+from repro.core.weighted_update import dynamic_batching_weight
+from repro.nn.layers import Dense
+from repro.nn.model import Model
+
+lbs_values = st.integers(1, 4096)
+
+
+@given(lbs=lbs_values)
+@settings(max_examples=100, deadline=None)
+def test_equal_lbs_reduces_to_eq4(lbs):
+    """db == 1 whenever sender and receiver batch sizes agree — the
+    weighted update (Eq. 7) degenerates to the classic rule (Eq. 4)."""
+    assert dynamic_batching_weight(lbs, lbs) == 1.0
+
+
+@given(a=lbs_values, b=lbs_values)
+@settings(max_examples=100, deadline=None)
+def test_db_weights_are_reciprocal(a, b):
+    """db_j^k * db_k^j == 1: the weighting is consistent between any
+    pair of workers."""
+    assert dynamic_batching_weight(a, b) * dynamic_batching_weight(b, a) == (
+        np.float64(a) / b * (np.float64(b) / a)
+    )
+
+
+@given(a=lbs_values, b=lbs_values, c=lbs_values)
+@settings(max_examples=100, deadline=None)
+def test_db_weights_compose(a, b, c):
+    """db_a^c == db_a^b * db_b^c (transitivity through a middle worker)."""
+    lhs = dynamic_batching_weight(a, c)
+    rhs = dynamic_batching_weight(a, b) * dynamic_batching_weight(b, c)
+    assert lhs == np.float64(rhs) or abs(lhs - rhs) < 1e-12 * lhs
+
+
+weight_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(1, 64),
+    elements=st.floats(-100, 100, allow_nan=False, width=64),
+)
+
+
+@given(w=weight_arrays, wb=weight_arrays, lam=st.floats(0.0, 1.0))
+@settings(max_examples=150, deadline=None)
+def test_merge_is_convex_combination(w, wb, lam):
+    if w.shape != wb.shape:
+        return
+    local = {"v": w.copy()}
+    merge_weights(local, {"v": wb}, lam)
+    np.testing.assert_allclose(local["v"], (1 - lam) * w + lam * wb, atol=1e-9)
+    # merged weights stay inside the interval spanned by the inputs
+    lo = np.minimum(w, wb) - 1e-9
+    hi = np.maximum(w, wb) + 1e-9
+    assert ((local["v"] >= lo) & (local["v"] <= hi)).all()
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    lr=st.floats(0.001, 1.0),
+    n=st.integers(2, 8),
+)
+@settings(max_examples=50, deadline=None)
+def test_sum_of_weighted_partial_updates_equals_full_update(seed, lr, n):
+    """Applying each worker's gradient separately with coeff 1/n is
+    exactly the Eq. 4 average update."""
+    rng = np.random.default_rng(seed)
+    model_a = Model([Dense(5, 3, np.random.default_rng(seed))])
+    model_b = Model([Dense(5, 3, np.random.default_rng(seed))])
+    grads = [
+        {name: rng.normal(size=v.shape) for name, v in model_a.variables().items()}
+        for _ in range(n)
+    ]
+    # one-shot average
+    avg = {
+        name: sum(g[name] for g in grads) / n
+        for name in model_a.variable_names
+    }
+    model_a.apply_grads(avg, lr=lr)
+    # incremental per-worker application
+    for g in grads:
+        model_b.apply_grads(g, lr=lr, coeff=1.0 / n)
+    for name in model_a.variable_names:
+        np.testing.assert_allclose(
+            model_a.get_variable(name), model_b.get_variable(name), atol=1e-6
+        )
+
+
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    nsel=st.integers(1, 15),
+)
+@settings(max_examples=50, deadline=None)
+def test_sparse_apply_equals_dense_apply_on_support(seed, nsel):
+    """Applying a sparse gradient equals applying the dense gradient
+    restricted to the selected indices."""
+    rng = np.random.default_rng(seed)
+    dense_model = Model([Dense(4, 4, np.random.default_rng(seed))])
+    sparse_model = Model([Dense(4, 4, np.random.default_rng(seed))])
+    name = dense_model.variable_names[0]
+    full = rng.normal(size=(4, 4))
+    idx = rng.choice(16, size=min(nsel, 16), replace=False).astype(np.int64)
+    masked = np.zeros_like(full)
+    masked.reshape(-1)[idx] = full.reshape(-1)[idx]
+    dense_model.apply_grads({name: masked}, lr=0.3, coeff=0.7)
+    sparse_model.apply_sparse_grads(
+        {name: (idx, full.reshape(-1)[idx])}, lr=0.3, coeff=0.7
+    )
+    np.testing.assert_allclose(
+        dense_model.get_variable(name), sparse_model.get_variable(name), atol=1e-6
+    )

@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_requires_environment(self):
+        # -e is validated in the command (either -e or --env-file).
+        assert main(["run"]) == 2
+
+    def test_run_rejects_unknown_environment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "-e", "Homo Z"])
+
+    def test_figure_rejects_unknown_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestCommands:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Hetero SYS A" in out
+        assert "dlion" in out
+        assert "fig11" in out
+
+    def test_run_short(self, capsys):
+        rc = main(
+            ["run", "-e", "Homo A", "-s", "baseline", "--horizon", "15", "--seed", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+        assert "iterations" in out
+
+    def test_compare_short(self, capsys):
+        rc = main(
+            ["compare", "-e", "Homo A", "--systems", "baseline,hop", "--horizon", "12"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "hop" in out
+
+    def test_compare_unknown_system(self, capsys):
+        rc = main(["compare", "-e", "Homo A", "--systems", "zab"])
+        assert rc == 2
+
+    def test_figure_table2(self, capsys):
+        assert main(["figure", "table2"]) == 0
+        assert "Virginia" in capsys.readouterr().out
+
+    def test_run_with_churn(self, capsys):
+        rc = main(
+            [
+                "run", "-e", "Homo A", "-s", "dlion", "--horizon", "20",
+                "--churn", "6:3:leave", "--churn", "14:3:join",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "active workers" in out
+        assert "6s->5" in out
+
+    def test_run_with_bad_churn_entry(self):
+        with pytest.raises(SystemExit):
+            main(["run", "-e", "Homo A", "--churn", "oops"])
+
+    def test_run_requires_exactly_one_env_source(self, capsys):
+        assert main(["run", "-s", "baseline"]) == 2
+
+    def test_run_with_env_file_and_outputs(self, tmp_path, capsys):
+        import json
+
+        env = {
+            "name": "tiny",
+            "platform": "cpu",
+            "workers": [
+                {"cores": 8, "bandwidth": 20},
+                {"cores": [[0, 4], [10, 8]], "bandwidth": 10},
+            ],
+        }
+        env_path = tmp_path / "env.json"
+        env_path.write_text(json.dumps(env))
+        out_json = tmp_path / "run.json"
+        out_csv = tmp_path / "acc.csv"
+        rc = main(
+            [
+                "run", "--env-file", str(env_path), "-s", "baseline",
+                "--horizon", "12", "--output", str(out_json), "--csv", str(out_csv),
+            ]
+        )
+        assert rc == 0
+        assert "tiny" in capsys.readouterr().out
+        doc = json.loads(out_json.read_text())
+        assert doc["n_workers"] == 2
+        assert out_csv.read_text().startswith("worker,time_s,accuracy")

@@ -1,0 +1,24 @@
+"""Tests for the installation self-test."""
+
+from repro.cli import main
+from repro.selftest import CHECKS, run_selftest
+
+
+class TestSelftest:
+    def test_all_checks_pass(self, capsys):
+        assert run_selftest(verbose=True) == 0
+        out = capsys.readouterr().out
+        assert f"{len(CHECKS)}/{len(CHECKS)} checks passed" in out
+
+    def test_cli_command(self, capsys):
+        assert main(["selftest"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_failure_counting(self, monkeypatch):
+        import repro.selftest as st
+
+        broken = [("always fails", lambda: "broken"),
+                  ("raises", lambda: 1 / 0),
+                  ("fine", lambda: None)]
+        monkeypatch.setattr(st, "CHECKS", broken)
+        assert st.run_selftest(verbose=False) == 2

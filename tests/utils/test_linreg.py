@@ -1,0 +1,56 @@
+"""Tests for the least-squares line fit."""
+
+import numpy as np
+import pytest
+
+from repro.utils.linreg import fit_line
+
+
+class TestFitLine:
+    def test_exact_line(self):
+        fit = fit_line([1, 2, 3, 4], [3, 5, 7, 9])  # y = 1 + 2x
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.r2 == pytest.approx(1.0)
+        assert fit.n == 4
+
+    def test_noisy_line_recovers_slope(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(0, 10, 200)
+        y = 0.5 + 3.0 * x + rng.normal(0, 0.1, x.size)
+        fit = fit_line(x, y)
+        assert fit.slope == pytest.approx(3.0, abs=0.05)
+        assert fit.intercept == pytest.approx(0.5, abs=0.1)
+        assert fit.r2 > 0.99
+
+    def test_predict(self):
+        fit = fit_line([0, 1], [1, 3])
+        assert fit.predict(2.0) == pytest.approx(5.0)
+        np.testing.assert_allclose(fit.predict(np.array([0.0, 1.0])), [1.0, 3.0])
+
+    def test_invert(self):
+        fit = fit_line([0, 1], [1, 3])
+        assert fit.invert(5.0) == pytest.approx(2.0)
+
+    def test_invert_flat_raises(self):
+        fit = fit_line([0, 1, 2], [4, 4, 4])
+        with pytest.raises(ZeroDivisionError):
+            fit.invert(4.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_line([1], [2])
+
+    def test_rejects_constant_x(self):
+        with pytest.raises(ValueError):
+            fit_line([2, 2, 2], [1, 2, 3])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_line([1, 2, 3], [1, 2])
+
+    def test_constant_y_has_r2_one(self):
+        # ss_tot == 0: fit is exact by convention.
+        fit = fit_line([1, 2, 3], [5, 5, 5])
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.r2 == 1.0

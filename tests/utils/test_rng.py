@@ -1,0 +1,63 @@
+"""Tests for deterministic RNG management."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngPool, spawn_rng
+
+
+class TestSpawnRng:
+    def test_same_seed_key_same_stream(self):
+        a = spawn_rng(1, "x").random(8)
+        b = spawn_rng(1, "x").random(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_keys_differ(self):
+        a = spawn_rng(1, "x").random(8)
+        b = spawn_rng(1, "y").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = spawn_rng(1, "x").random(8)
+        b = spawn_rng(2, "x").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_key_hash_is_process_independent(self):
+        # blake2-based, so values are stable across runs — pin a sample.
+        v = spawn_rng(0, "stable-key").integers(0, 1_000_000)
+        assert v == spawn_rng(0, "stable-key").integers(0, 1_000_000)
+
+
+class TestRngPool:
+    def test_get_caches(self):
+        pool = RngPool(3)
+        assert pool.get("a") is pool.get("a")
+
+    def test_fresh_resets(self):
+        pool = RngPool(3)
+        g1 = pool.get("a")
+        g1.random(4)
+        g2 = pool.fresh("a")
+        assert g2 is not g1
+        np.testing.assert_array_equal(g2.random(4), spawn_rng(3, "a").random(4))
+
+    def test_child_namespacing(self):
+        pool = RngPool(3)
+        child = pool.child("worker/0")
+        direct = pool.get("worker/0/data")
+        assert child.get("data") is direct
+
+    def test_nested_children(self):
+        pool = RngPool(3)
+        deep = pool.child("a").child("b")
+        assert deep.get("c") is pool.get("a/b/c")
+
+    def test_rejects_non_int_seed(self):
+        with pytest.raises(TypeError):
+            RngPool("seed")  # type: ignore[arg-type]
+
+    def test_streams_are_independent(self):
+        pool = RngPool(9)
+        a = pool.get("a").random(1000)
+        b = pool.get("b").random(1000)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.1
