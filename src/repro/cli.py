@@ -1,19 +1,23 @@
 """Command-line interface.
 
-Five subcommands::
+Six subcommands::
 
     repro-dlion list                         # environments, systems, figures
     repro-dlion run  --environment "Hetero SYS A" --system dlion
     repro-dlion compare --environment "Homo B" --systems dlion,ako,gaia
     repro-dlion figure fig11                 # regenerate one paper figure
+    repro-dlion report run.trace.json        # summarize a recorded trace
     repro-dlion selftest                     # ~10 s install verification
 
 ``run`` and ``compare`` accept ``--horizon`` (simulated seconds; default
 is the workload's scaled paper horizon) and ``--seed``. ``run`` also
 takes ``--env-file`` (custom cluster JSON), ``--churn`` (elastic
-membership events), and ``--output``/``--csv`` (result export). All
-output is plain text; benchmark archives land under
-``benchmarks/results/`` when figures are run through pytest instead.
+membership events), ``--output``/``--csv`` (result export), and the
+observability flags ``--trace`` (Chrome-trace JSON, viewable in
+Perfetto), ``--metrics-out`` (metrics registry JSON), and ``--profile``
+(wall-clock profile of the simulator itself). All output is plain text;
+benchmark archives land under ``benchmarks/results/`` when figures are
+run through pytest instead.
 """
 
 from __future__ import annotations
@@ -62,6 +66,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="elastic-membership event, e.g. --churn 100:0:leave "
         "--churn 200:0:join (repeatable)",
     )
+    run_p.add_argument("--trace", metavar="PATH",
+                       help="write a Chrome-trace JSON of the run "
+                       "(load in Perfetto / chrome://tracing)")
+    run_p.add_argument("--metrics-out", metavar="PATH",
+                       help="write the metrics registry as JSON")
+    run_p.add_argument("--profile", action="store_true",
+                       help="print a wall-clock profile of the simulator itself")
 
     cmp_p = sub.add_parser("compare", help="run several systems in one environment")
     cmp_p.add_argument("--environment", "-e", required=True, choices=sorted(ENVIRONMENTS))
@@ -73,6 +84,9 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p = sub.add_parser("figure", help="regenerate one paper table/figure")
     fig_p.add_argument("name", choices=_FIGURES,
                        help="e.g. fig11, fig09a, table1")
+
+    rep_p = sub.add_parser("report", help="summarize a trace written by run --trace")
+    rep_p.add_argument("trace", help="path to a Chrome-trace JSON file")
 
     sub.add_parser("selftest", help="quick installation self-test (~1 min)")
     return parser
@@ -105,7 +119,25 @@ def _parse_churn(entries: list[str], n_workers: int = 6):
     return MembershipSchedule(events, n_workers=n_workers)
 
 
-def _run_env_file(args: argparse.Namespace):
+def _make_obs(args: argparse.Namespace):
+    """Tracer / metrics registry / profiler per the run flags (or Nones)."""
+    tracer = metrics = profiler = None
+    if getattr(args, "trace", None):
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+    if getattr(args, "metrics_out", None):
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    if getattr(args, "profile", False):
+        from repro.obs.profile import Profiler
+
+        profiler = Profiler()
+    return tracer, metrics, profiler
+
+
+def _run_env_file(args: argparse.Namespace, tracer=None, metrics=None, profiler=None):
     from repro.cluster.topology import ClusterTopology
     from repro.cluster.traces import PiecewiseTrace
     from repro.core.engine import TrainingEngine
@@ -134,6 +166,9 @@ def _run_env_file(args: argparse.Namespace):
         topo,
         seed=args.seed,
         membership=_parse_churn(args.churn, n_workers=topo.n_workers),
+        tracer=tracer,
+        metrics=metrics,
+        profiler=profiler,
     )
     horizon = args.horizon if args.horizon is not None else workload.horizon()
     print(f"custom environment: {spec.name} ({topo.n_workers} workers)")
@@ -144,9 +179,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if bool(args.environment) == bool(args.env_file):
         print("exactly one of --environment / --env-file is required", file=sys.stderr)
         return 2
+    # Fail on unwritable export paths *before* spending minutes simulating.
+    import pathlib
+
+    for path_arg in (args.trace, args.metrics_out, args.output, args.csv):
+        if path_arg and not pathlib.Path(path_arg).resolve().parent.is_dir():
+            print(f"output directory does not exist: {path_arg}", file=sys.stderr)
+            return 2
     membership = _parse_churn(args.churn)
+    tracer, metrics, profiler = _make_obs(args)
     if args.env_file:
-        result = _run_env_file(args)
+        result = _run_env_file(args, tracer, metrics, profiler)
     elif membership is None:
         spec = RunSpec(
             environment=args.environment,
@@ -154,7 +197,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             seed=args.seed,
             horizon=args.horizon,
         )
-        result = run_experiment(spec)
+        result = run_experiment(
+            spec, tracer=tracer, metrics=metrics, profiler=profiler
+        )
     else:
         # Elastic runs build the engine directly (RunSpec stays a pure
         # value object for the figure drivers).
@@ -169,6 +214,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             build_topology(env, workload),
             seed=args.seed,
             membership=membership,
+            tracer=tracer,
+            metrics=metrics,
+            profiler=profiler,
         )
         result = engine.run(
             args.horizon if args.horizon is not None else workload.horizon()
@@ -200,6 +248,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         write_accuracy_csv(result, args.csv)
         print(f"accuracy CSV   : {args.csv}")
+    if tracer is not None:
+        tracer.write(args.trace)
+        print(f"trace          : {args.trace}")
+    if metrics is not None:
+        metrics.write(args.metrics_out)
+        print(f"metrics JSON   : {args.metrics_out}")
+    if profiler is not None:
+        print()
+        print(profiler.report())
     return 0
 
 
@@ -239,6 +296,18 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.trace_report import load_trace, render_report
+
+    try:
+        events = load_trace(args.trace)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    print(render_report(events))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -250,6 +319,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_compare(args)
     if args.command == "figure":
         return _cmd_figure(args)
+    if args.command == "report":
+        return _cmd_report(args)
     if args.command == "selftest":
         from repro.selftest import run_selftest
 

@@ -31,6 +31,10 @@ class NetworkResourceMonitor:
     ):
         if noise < 0:
             raise ValueError("noise must be non-negative")
+        if noise > 0 and rng is None:
+            # Silently returning noiseless estimates would defeat the
+            # point of configuring noise; fail at construction instead.
+            raise ValueError("noise > 0 requires an rng")
         self.worker = worker
         self.matrix = matrix
         self.noise = noise
@@ -39,7 +43,7 @@ class NetworkResourceMonitor:
     def available_bandwidth(self, dst: int, t: float) -> float:
         """Estimated Mbps on the link ``worker -> dst`` at time ``t``."""
         bw = self.matrix.link(self.worker, dst).bandwidth_at(t)
-        if self.noise > 0 and self.rng is not None:
+        if self.noise > 0:
             bw *= math.exp(self.rng.normal(0.0, self.noise))
         return bw
 

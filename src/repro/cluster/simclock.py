@@ -9,7 +9,10 @@ a prerequisite for the seeded experiment sweeps.
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Any, Callable
+
+from repro.obs import profile as _profile
 
 __all__ = ["SimClock", "Event"]
 
@@ -80,35 +83,49 @@ class SimClock:
         The clock is left at ``horizon`` (or at the last event if
         ``max_events`` stopped the pump early).
         """
+        # Wall-clock attribution for --profile runs; one check per pump,
+        # not per event, so the untraced hot loop is unchanged.
+        prof = _profile.active_profiler()
+        t0 = perf_counter() if prof is not None else 0.0
         processed = 0
-        while self._heap:
-            ev = self._heap[0]
-            if ev.time > horizon:
-                break
-            heapq.heappop(self._heap)
-            if ev.cancelled:
-                continue
-            self._now = ev.time
-            ev.fn(*ev.args)
-            processed += 1
-            self.events_processed += 1
-            if max_events is not None and processed >= max_events:
-                return processed
-        self._now = max(self._now, horizon)
-        return processed
+        try:
+            while self._heap:
+                ev = self._heap[0]
+                if ev.time > horizon:
+                    break
+                heapq.heappop(self._heap)
+                if ev.cancelled:
+                    continue
+                self._now = ev.time
+                ev.fn(*ev.args)
+                processed += 1
+                self.events_processed += 1
+                if max_events is not None and processed >= max_events:
+                    return processed
+            self._now = max(self._now, horizon)
+            return processed
+        finally:
+            if prof is not None:
+                prof.add("simclock/dispatch", perf_counter() - t0, processed)
 
     def run(self, *, max_events: int = 10_000_000) -> int:
         """Drain the queue completely (bounded by ``max_events``)."""
+        prof = _profile.active_profiler()
+        t0 = perf_counter() if prof is not None else 0.0
         processed = 0
-        while self._heap and processed < max_events:
-            ev = heapq.heappop(self._heap)
-            if ev.cancelled:
-                continue
-            self._now = ev.time
-            ev.fn(*ev.args)
-            processed += 1
-            self.events_processed += 1
-        return processed
+        try:
+            while self._heap and processed < max_events:
+                ev = heapq.heappop(self._heap)
+                if ev.cancelled:
+                    continue
+                self._now = ev.time
+                ev.fn(*ev.args)
+                processed += 1
+                self.events_processed += 1
+            return processed
+        finally:
+            if prof is not None:
+                prof.add("simclock/dispatch", perf_counter() - t0, processed)
 
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""

@@ -113,6 +113,20 @@ class DktState:
             return None
         return max(table.items(), key=lambda kv: (kv[1], -kv[0]))[0]
 
+    def trace_args(self) -> dict:
+        """A compact protocol-state snapshot for trace instants.
+
+        Deterministic keys and rounded floats so traced runs of the
+        same seed stay byte-identical.
+        """
+        best = self.best_worker()
+        avg = self.avg_loss()
+        return {
+            "best": -1 if best is None else best,
+            "avg_loss": None if avg is None else round(avg, 6),
+            "peers_known": len(self.shared_losses),
+        }
+
     def pull_target(self) -> int | None:
         """Whom this worker should request weights from right now.
 

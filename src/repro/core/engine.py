@@ -13,6 +13,7 @@ the event clock breaks ties by scheduling order.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -33,7 +34,10 @@ from repro.core.gbs_controller import GbsController
 from repro.core.worker import Worker
 from repro.nn.datasets import MinibatchSampler, SyntheticImageDataset
 from repro.nn.models import build_model
-from repro.utils.metrics import TimeSeries, accuracy_at_time, mean_and_ci95
+from repro.obs import profile as _profile
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, THREAD_NAMES, TID_NET, TID_SYNC
+from repro.utils.metrics import TimeSeries, accuracy_at_time
 from repro.utils.rng import RngPool
 
 __all__ = ["TrainingEngine", "RunResult"]
@@ -44,7 +48,14 @@ _GBS_ANNOUNCE_DELAY = 0.05
 
 @dataclass
 class RunResult:
-    """Everything a run recorded, plus the paper's derived metrics."""
+    """Everything a run recorded, plus the paper's derived metrics.
+
+    Run accounting lives in the attached :class:`MetricsRegistry`
+    (``metrics``); the historical ``link_bytes`` / ``compute_time`` /
+    ``wait_time`` attributes are kept as properties reading from the
+    registry, so existing callers and a ``--metrics-out`` dump can
+    never disagree.
+    """
 
     n_workers: int
     horizon: float
@@ -55,17 +66,38 @@ class RunResult:
     # Per ordered link: entries per gradient message and the chosen N.
     link_entries: dict[tuple[int, int], TimeSeries] = field(default_factory=dict)
     link_chosen_n: dict[tuple[int, int], TimeSeries] = field(default_factory=dict)
-    link_bytes: dict[tuple[int, int], int] = field(default_factory=dict)
     iterations: list[int] = field(default_factory=list)
     dkt_merges: int = 0
     epochs: float = 0.0
     events: int = 0
     # Elastic-membership extension: active worker count over time.
     active_workers: TimeSeries = field(default_factory=TimeSeries)
-    # Utilization: per-worker simulated seconds computing vs. blocked on
-    # the sync gate (diagnoses which policy wastes whose time).
-    compute_time: list[float] = field(default_factory=list)
-    wait_time: list[float] = field(default_factory=list)
+    # The run's metric families (see docs/observability.md for the catalog).
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    @property
+    def link_bytes(self) -> dict[tuple[int, int], int]:
+        """Gradient-payload bytes shipped per ordered link."""
+        counter = self.metrics.get("grad_bytes_total")
+        if counter is None:
+            return {}
+        return {(src, dst): int(v) for (src, dst), v in counter.items()}
+
+    def _per_worker_seconds(self, name: str) -> list[float]:
+        counter = self.metrics.get(name)
+        if counter is None:
+            return [0.0] * self.n_workers
+        return [counter.value(w) for w in range(self.n_workers)]
+
+    @property
+    def compute_time(self) -> list[float]:
+        """Per-worker simulated seconds spent computing gradients."""
+        return self._per_worker_seconds("compute_seconds_total")
+
+    @property
+    def wait_time(self) -> list[float]:
+        """Per-worker simulated seconds blocked on the sync gate."""
+        return self._per_worker_seconds("sync_wait_seconds_total")
 
     def wait_fraction(self, worker: int) -> float:
         """Share of the horizon worker ``worker`` spent sync-blocked."""
@@ -85,11 +117,33 @@ class RunResult:
         return float(np.std(self.worker_accuracy_at(t)))
 
     def mean_accuracy_series(self) -> TimeSeries:
-        """Cluster-average best-so-far accuracy on the union time grid."""
-        grid = sorted({t for s in self.accuracy for t in s.times})
+        """Cluster-average best-so-far accuracy on the union time grid.
+
+        A single merged sweep: every worker's samples are walked once
+        while a running per-worker best is maintained, so the cost is
+        O(T·W + T log T) over T grid points instead of re-masking every
+        series at every grid point (O(T²·W)).
+        """
         out = TimeSeries()
+        if not self.accuracy:
+            return out
+        grid = sorted({t for s in self.accuracy for t in s.times})
+        series = [(s.times, s.values) for s in self.accuracy]
+        cursor = [0] * len(series)
+        best = [0.0] * len(series)
+        n = len(series)
         for t in grid:
-            out.append(t, self.mean_accuracy_at(t))
+            bound = t + 1e-12  # the tolerance accuracy_at_time applies
+            for w, (times, values) in enumerate(series):
+                i = cursor[w]
+                b = best[w]
+                while i < len(times) and times[i] <= bound:
+                    if values[i] > b:
+                        b = values[i]
+                    i += 1
+                cursor[w] = i
+                best[w] = b
+            out.append(t, sum(best) / n)
         return out
 
     def time_to_accuracy(self, target: float) -> float | None:
@@ -118,6 +172,9 @@ class TrainingEngine:
         dataset: SyntheticImageDataset | None = None,
         membership=None,
         peer_graph=None,
+        tracer=None,
+        metrics: MetricsRegistry | None = None,
+        profiler=None,
     ):
         self.config = config
         self.topology = topology
@@ -125,6 +182,17 @@ class TrainingEngine:
         self.rng_pool = RngPool(seed)
         self.clock = SimClock()
         self.stopped = False
+
+        # Observability: the tracer defaults to a no-op (hot paths pay
+        # one ``tracer.enabled`` check); the metrics registry is always
+        # live because RunResult's accounting reads from it; a profiler,
+        # when given, is activated around run()/advance_to().
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.profiler = profiler
+        self._register_metrics()
+        if self.tracer.enabled:
+            self._emit_trace_metadata()
 
         # Elastic membership (extension; None = the paper's fixed set).
         self.membership = membership
@@ -178,21 +246,95 @@ class TrainingEngine:
             self.workers.append(worker)
 
         # Result recording.
-        self.result = RunResult(n_workers=self.n_workers, horizon=0.0)
+        self.result = RunResult(
+            n_workers=self.n_workers, horizon=0.0, metrics=self.metrics
+        )
         self.result.accuracy = [TimeSeries() for _ in range(self.n_workers)]
         self.result.loss = [TimeSeries() for _ in range(self.n_workers)]
         self.result.lbs = [TimeSeries() for _ in range(self.n_workers)]
         self.result.iterations = [0] * self.n_workers
         self.result.gbs.append(0.0, self.gbs_controller.gbs)
         self.result.active_workers.append(0.0, len(self.active))
+        self._g_gbs.set(self.gbs_controller.gbs)
+        self._g_active.set(len(self.active))
         for w in range(self.n_workers):
             self.result.lbs[w].append(0.0, config.initial_lbs)
+            self._g_lbs.set(config.initial_lbs, w)
 
         self._started = False
 
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
+    def _register_metrics(self) -> None:
+        """Create the run's metric families (docs/observability.md)."""
+        m = self.metrics
+        self._c_grad_bytes = m.counter(
+            "grad_bytes_total", "gradient payload bytes per directed link",
+            ("src", "dst"),
+        )
+        self._c_grad_msgs = m.counter(
+            "grad_msgs_total", "gradient messages per directed link",
+            ("src", "dst"),
+        )
+        self._c_weight_bytes = m.counter(
+            "weight_bytes_total", "DKT weight-snapshot bytes per directed link",
+            ("src", "dst"),
+        )
+        self._h_chosen_n = m.histogram(
+            "maxn_chosen_n", "Max-N value chosen per link decision", ("link",),
+            buckets=(1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0),
+        )
+        self._c_iterations = m.counter(
+            "iterations_total", "completed gradient iterations", ("worker",)
+        )
+        self._h_iteration_s = m.histogram(
+            "iteration_seconds", "simulated duration of one iteration",
+            ("worker",),
+        )
+        self._h_wait_s = m.histogram(
+            "sync_wait_seconds", "simulated length of one sync-gate wait",
+            ("worker",),
+        )
+        self._c_wait_total = m.counter(
+            "sync_wait_seconds_total",
+            "simulated seconds blocked on the sync gate", ("worker",),
+        )
+        self._c_compute_total = m.counter(
+            "compute_seconds_total",
+            "simulated seconds computing gradients", ("worker",),
+        )
+        self._c_dkt_merges = m.counter(
+            "dkt_merges_total", "DKT weight merges applied", ("worker",)
+        )
+        self._c_dkt_pulls = m.counter(
+            "dkt_pulls_total", "DKT weight-pull requests sent", ("worker",)
+        )
+        self._g_gbs = m.gauge("gbs", "current global batch size")
+        self._g_lbs = m.gauge("lbs", "current local batch size", ("worker",))
+        self._g_queue_depth = m.gauge(
+            "queue_depth", "pending messages in a worker's queues", ("worker",)
+        )
+        self._g_active = m.gauge("active_workers", "currently active workers")
+        self._c_events = m.counter(
+            "events_processed", "simulation events dispatched"
+        )
+
+    def _emit_trace_metadata(self) -> None:
+        """Name one trace process per worker plus the cluster pseudo-process."""
+        tracer = self.tracer
+        for w in range(self.n_workers):
+            tracer.set_process_name(w, f"worker {w}")
+            for tid, name in THREAD_NAMES.items():
+                tracer.set_thread_name(w, tid, name)
+        tracer.set_process_name(self.cluster_pid, "cluster")
+        tracer.set_thread_name(self.cluster_pid, 0, "control")
+
+    @property
+    def cluster_pid(self) -> int:
+        """Trace pid for cluster-wide events (one past the worker pids)."""
+        return self.n_workers
+
     def _build_dataset(self) -> SyntheticImageDataset:
         rng = self.rng_pool.get("dataset")
         cfg = self.config
@@ -230,12 +372,26 @@ class TrainingEngine:
     # ------------------------------------------------------------------
     # Message transport (everything crosses the simulated links)
     # ------------------------------------------------------------------
-    def _deliver(self, src: int, dst: int, nbytes: int, handler, msg) -> None:
+    def _deliver(
+        self, src: int, dst: int, nbytes: int, handler, msg, *, kind: str = "msg"
+    ) -> None:
         if dst not in self.active:
             return  # destination is offline; the message is lost
         arrival = self.topology.network.enqueue_transfer(
             src, dst, nbytes, self.clock.now
         )
+        if self.tracer.enabled:
+            # One span per transfer on the source worker's net-out
+            # thread: enqueue -> delivery (queueing + serialization).
+            self.tracer.complete(
+                f"{kind}->{dst}",
+                src,
+                TID_NET,
+                self.clock.now,
+                arrival - self.clock.now,
+                cat="net",
+                args={"dst": dst, "bytes": int(nbytes)},
+            )
         # Membership can change while the message is in flight; check
         # again at delivery time.
         self.clock.schedule(arrival, self._deliver_checked, dst, handler, msg)
@@ -249,17 +405,27 @@ class TrainingEngine:
     ) -> None:
         """Ship a gradient message over the simulated link, recording stats."""
         nbytes = msg.wire_bytes()
-        self._deliver(src, dst, nbytes, self.workers[dst].on_gradient_message, msg)
+        self._deliver(
+            src, dst, nbytes, self.workers[dst].on_gradient_message, msg,
+            kind="grad",
+        )
         if self.config.record_link_stats:
             key = (src, dst)
-            self.result.link_bytes[key] = self.result.link_bytes.get(key, 0) + nbytes
+            self._c_grad_bytes.inc(nbytes, src, dst)
+            self._c_grad_msgs.inc(1, src, dst)
             self.result.link_entries.setdefault(key, TimeSeries()).append(
                 self.clock.now, msg.num_entries()
             )
             if chosen_n is not None:
+                self._h_chosen_n.observe(chosen_n, f"{src}->{dst}")
                 self.result.link_chosen_n.setdefault(key, TimeSeries()).append(
                     self.clock.now, chosen_n
                 )
+                if self.tracer.enabled:
+                    self.tracer.counter(
+                        f"chosen_n {src}->{dst}", src, self.clock.now,
+                        {"n": round(chosen_n, 3)},
+                    )
 
     def send_control(self, src: int, dst: int, msg) -> None:
         """Route a control message to the destination worker's handler."""
@@ -273,11 +439,16 @@ class TrainingEngine:
             handler = self.workers[dst].queues.push_control
         else:
             raise TypeError(f"not a control message: {type(msg).__name__}")
-        self._deliver(src, dst, msg.wire_bytes(), handler, msg)
+        self._deliver(src, dst, msg.wire_bytes(), handler, msg, kind="ctrl")
 
     def send_weights(self, src: int, dst: int, msg: WeightMessage) -> None:
         """Ship a full weight snapshot (DKT payload) over the link."""
-        self._deliver(src, dst, msg.wire_bytes(), self.workers[dst].on_weight_message, msg)
+        nbytes = msg.wire_bytes()
+        self._c_weight_bytes.inc(nbytes, src, dst)
+        self._deliver(
+            src, dst, nbytes, self.workers[dst].on_weight_message, msg,
+            kind="weights",
+        )
 
     def active_peers(self, worker: int) -> list[int]:
         """The peers a worker exchanges with: active, and (when a
@@ -323,6 +494,17 @@ class TrainingEngine:
             worker.iteration = max(worker.iteration, resume)
             worker.sync_state.iteration = worker.iteration
         self.result.active_workers.append(self.clock.now, len(self.active))
+        self._g_active.set(len(self.active))
+        if self.tracer.enabled:
+            self.tracer.instant(
+                f"membership-{event.action}",
+                self.cluster_pid,
+                0,
+                self.clock.now,
+                cat="membership",
+                args={"worker": event.worker, "active": len(self.active)},
+                scope="g",
+            )
         for w in self.active:
             self.workers[w].on_membership_change(self.active)
         if event.action == "join":
@@ -355,6 +537,15 @@ class TrainingEngine:
         new = self.gbs_controller.maybe_update(self.global_epoch())
         if new != old:
             self.result.gbs.append(self.clock.now, new)
+            self._g_gbs.set(new)
+            if self.tracer.enabled:
+                self.tracer.counter(
+                    "gbs", self.cluster_pid, self.clock.now, {"gbs": new}
+                )
+                self.tracer.instant(
+                    "gbs-update", self.cluster_pid, 0, self.clock.now,
+                    cat="ctrl", args={"old": old, "new": new},
+                )
             for w in self.workers:
                 # Announcement reaches every worker after a short
                 # control-plane delay.
@@ -368,14 +559,19 @@ class TrainingEngine:
         """Record one iteration's training loss (and count the iteration)."""
         self.result.loss[worker].append(self.clock.now, loss)
         self.result.iterations[worker] += 1
+        self._c_iterations.inc(1, worker)
 
     def record_lbs(self, worker: int, lbs: int) -> None:
         """Record a local-batch-size change for the Fig. 6/19 series."""
         self.result.lbs[worker].append(self.clock.now, lbs)
+        self._g_lbs.set(lbs, worker)
+        if self.tracer.enabled:
+            self.tracer.counter("lbs", worker, self.clock.now, {"lbs": lbs})
 
     def record_dkt_merge(self, worker: int) -> None:
         """Count one applied direct-knowledge-transfer merge."""
         self.result.dkt_merges += 1
+        self._c_dkt_merges.inc(1, worker)
 
     def evaluate_worker(self, worker: int) -> None:
         """Out-of-band accuracy measurement (costs no simulated time)."""
@@ -399,6 +595,12 @@ class TrainingEngine:
             else:
                 w.try_start_iteration()
 
+    def _profiled(self):
+        """Activate this engine's profiler (no-op context when unset)."""
+        if self.profiler is not None:
+            return _profile.activate(self.profiler)
+        return nullcontext()
+
     def run(self, horizon: float) -> RunResult:
         """Advance the simulation to ``horizon`` seconds and finalize."""
         self.advance_to(horizon)
@@ -408,19 +610,22 @@ class TrainingEngine:
         """Pump simulated events up to ``horizon`` (without finalizing)."""
         if not self._started:
             self._start()
-        self.clock.run_until(horizon)
+        with self._profiled():
+            self.clock.run_until(horizon)
 
     def run_epochs(self, target_epochs: float, *, max_time: float = 1e6) -> RunResult:
         """Run until the cluster has processed ``target_epochs`` of data."""
         if not self._started:
             self._start()
-        while self.global_epoch() < target_epochs and self.clock.now < max_time:
-            nxt = self.clock.peek_time()
-            if nxt is None:
-                break
-            self.clock.run_until(
-                min(max_time, max(nxt, self.clock.now + 1.0)), max_events=10_000
-            )
+        with self._profiled():
+            while self.global_epoch() < target_epochs and self.clock.now < max_time:
+                nxt = self.clock.peek_time()
+                if nxt is None:
+                    break
+                self.clock.run_until(
+                    min(max_time, max(nxt, self.clock.now + 1.0)),
+                    max_events=10_000,
+                )
         return self.finalize()
 
     def finalize(self) -> RunResult:
@@ -434,9 +639,16 @@ class TrainingEngine:
             # Close out a wait interval still open at the horizon.
             wait = w.wait_time
             if w.waiting and w._wait_started is not None:
-                wait += self.clock.now - w._wait_started
-            self.result.wait_time.append(wait)
-            self.result.compute_time.append(w.compute_time)
+                open_wait = self.clock.now - w._wait_started
+                wait += open_wait
+                if self.tracer.enabled:
+                    self.tracer.complete(
+                        "sync-wait", w.worker_id, TID_SYNC, w._wait_started,
+                        open_wait, cat="sync",
+                    )
+            self._c_wait_total.inc(wait, w.worker_id)
+            self._c_compute_total.inc(w.compute_time, w.worker_id)
         self.result.epochs = self.global_epoch()
         self.result.events = self.clock.events_processed
+        self._c_events.inc(self.clock.events_processed)
         return self.result

@@ -28,6 +28,7 @@ import numpy as np
 from repro.cluster.messages import VARIABLE_HEADER_BYTES
 from repro.core.config import MaxNConfig
 from repro.core.maxn import select_payload
+from repro.obs import profile as _profile
 
 __all__ = ["fit_n_to_budget", "TransmissionPlanner"]
 
@@ -100,19 +101,20 @@ def fit_n_to_budget(
     """
     if not 0 < n_min <= n_max <= 100.0:
         raise ValueError("need 0 < n_min <= n_max <= 100")
-    suffixes = _suffix_histograms(grads)
-    if _upper_bound_bytes(suffixes, n_max) <= budget_bytes:
-        return n_max
-    if _upper_bound_bytes(suffixes, n_min) > budget_bytes:
-        return n_min
-    lo, hi = n_min, n_max  # feasible at lo, infeasible at hi
-    while hi - lo > precision:
-        mid = 0.5 * (lo + hi)
-        if _upper_bound_bytes(suffixes, mid) <= budget_bytes:
-            lo = mid
-        else:
-            hi = mid
-    return lo
+    with _profile.scope("maxn/fit_n_to_budget"):
+        suffixes = _suffix_histograms(grads)
+        if _upper_bound_bytes(suffixes, n_max) <= budget_bytes:
+            return n_max
+        if _upper_bound_bytes(suffixes, n_min) > budget_bytes:
+            return n_min
+        lo, hi = n_min, n_max  # feasible at lo, infeasible at hi
+        while hi - lo > precision:
+            mid = 0.5 * (lo + hi)
+            if _upper_bound_bytes(suffixes, mid) <= budget_bytes:
+                lo = mid
+            else:
+                hi = mid
+        return lo
 
 
 def fit_level_to_budget(
@@ -197,6 +199,15 @@ class TransmissionPlanner:
         Destinations whose links share a bandwidth value reuse one
         selection (payloads are identical for identical N).
         """
+        with _profile.scope("maxn/plan"):
+            return self._plan(grads, bandwidths_mbps, iter_time_s)
+
+    def _plan(
+        self,
+        grads: Mapping[str, np.ndarray],
+        bandwidths_mbps: Mapping[int, float],
+        iter_time_s: float,
+    ) -> dict[int, tuple[float, dict[str, tuple[np.ndarray, np.ndarray]]]]:
         plans: dict[int, tuple[float, dict]] = {}
         cache: dict[float, tuple[float, dict]] = {}
         for dst, bw in bandwidths_mbps.items():

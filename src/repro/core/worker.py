@@ -42,6 +42,7 @@ from repro.core.sync import SyncState
 from repro.core.weighted_update import dynamic_batching_weight
 from repro.nn.datasets import MinibatchSampler
 from repro.nn.model import Model
+from repro.obs.trace import TID_CTRL, TID_DKT, TID_ITER, TID_SYNC
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.engine import TrainingEngine
@@ -65,6 +66,7 @@ class Worker:
     ):
         self.worker_id = worker_id
         self.engine = engine
+        self.tracer = engine.tracer
         self.model = model
         self.sampler = sampler
         self.strategy = strategy
@@ -159,7 +161,13 @@ class Worker:
         self.rcp_table[self.worker_id] = rcp
         self.recompute_lbs()
         self.engine.broadcast_rcp(self.worker_id, rcp)
-        return sum(probe_times)
+        cost = sum(probe_times)
+        if self.tracer.enabled:
+            self.tracer.complete(
+                "rcp-profile", self.worker_id, TID_CTRL, t, cost,
+                cat="ctrl", args={"rcp": round(rcp, 6)},
+            )
+        return cost
 
     def on_rcp_share(self, msg: RcpShareMessage) -> None:
         """Update the RCP table with a peer's measurement; rebalance LBS."""
@@ -230,7 +238,15 @@ class Worker:
                 self._wait_started = self.now()
             return
         if self.waiting and self._wait_started is not None:
-            self.wait_time += self.now() - self._wait_started
+            waited = self.now() - self._wait_started
+            self.wait_time += waited
+            self.engine._h_wait_s.observe(waited, self.worker_id)
+            if self.tracer.enabled and waited > 0.0:
+                self.tracer.complete(
+                    "sync-wait", self.worker_id, TID_SYNC,
+                    self._wait_started, waited, cat="sync",
+                    args={"iteration": self.iteration},
+                )
             self._wait_started = None
         self.waiting = False
         self.computing = True
@@ -255,6 +271,19 @@ class Worker:
         self.sync_state.iteration = self.iteration
         self.dkt.record_loss(loss)
         self.engine.record_loss(self.worker_id, loss)
+        self.engine._h_iteration_s.observe(duration, self.worker_id)
+        if self.tracer.enabled:
+            # The compute span covers the simulated iteration duration
+            # that just elapsed; it ends at the current instant.
+            self.tracer.complete(
+                "compute", self.worker_id, TID_ITER,
+                self.now() - duration, duration, cat="iter",
+                args={
+                    "iteration": self.iteration,
+                    "batch": batch,
+                    "loss": round(float(loss), 6),
+                },
+            )
 
         # Local model update: own gradient with db = 1 (Eq. 7 term j=k).
         # The averaging denominator is the size of this worker's
@@ -272,11 +301,22 @@ class Worker:
         if self.dkt.should_share(self.iteration):
             avg = self.dkt.avg_loss()
             if avg is not None:
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "dkt-share", self.worker_id, TID_DKT, self.now(),
+                        cat="dkt", args=self.dkt.trace_args(),
+                    )
                 self.engine.broadcast_loss_share(self.worker_id, self.iteration, avg)
                 target = self.dkt.pull_target()
                 if target is not None:
                     self.dkt.pulls_requested += 1
                     self.stats_weight_pulls += 1
+                    self.engine._c_dkt_pulls.inc(1, self.worker_id)
+                    if self.tracer.enabled:
+                        self.tracer.instant(
+                            "dkt-pull-request", self.worker_id, TID_DKT,
+                            self.now(), cat="dkt", args={"target": target},
+                        )
                     self.engine.send_control(
                         self.worker_id,
                         target,
@@ -326,6 +366,7 @@ class Worker:
     def on_gradient_message(self, msg: GradientMessage) -> None:
         """Model update module: apply a peer's (partial) gradients (Eq. 7)."""
         self.queues.push_data(msg)
+        self.engine._g_queue_depth.set(len(self.queues), self.worker_id)
         self.stats_grad_msgs_received += 1
         db = dynamic_batching_weight(
             msg.lbs, self.lbs, enabled=self.config.weighted_update
@@ -336,6 +377,16 @@ class Worker:
         elif msg.sparse:
             self.model.apply_sparse_grads(msg.sparse, lr=self.config.lr, coeff=coeff)
         self.queues.pop_data()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "apply-grads", self.worker_id, TID_ITER, self.now(),
+                cat="iter",
+                args={
+                    "from": msg.sender,
+                    "iteration": msg.iteration,
+                    "entries": msg.num_entries(),
+                },
+            )
 
         if msg.sender in self.sync_state.received_from:
             prev = self.sync_state.received_from[msg.sender]
@@ -353,6 +404,11 @@ class Worker:
 
     def on_dkt_request(self, msg: DktRequestMessage) -> None:
         """This worker is (believed to be) the best: ship its weights."""
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "dkt-serve", self.worker_id, TID_DKT, self.now(),
+                cat="dkt", args={"requester": msg.sender},
+            )
         snapshot = WeightMessage(
             sender=self.worker_id,
             iteration=self.iteration,
@@ -367,3 +423,9 @@ class Worker:
         )
         self.dkt.merges_applied += 1
         self.engine.record_dkt_merge(self.worker_id)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "dkt-merge", self.worker_id, TID_DKT, self.now(),
+                cat="dkt",
+                args={"from": msg.sender, "iteration": msg.iteration},
+            )

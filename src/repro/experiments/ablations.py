@@ -101,7 +101,7 @@ def ablation_churn(environment: str = "Hetero SYS A") -> FigureResult:
     )
     res = FigureResult(
         figure="Ablation C",
-        title=f"Worker churn: two strongest workers offline for the middle third "
+        title="Worker churn: two strongest workers offline for the middle third "
         f"({environment})",
         header=["system", "membership", "accuracy", "ci95"],
     )

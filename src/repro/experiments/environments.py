@@ -13,7 +13,7 @@ DESIGN.md / EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["EnvSpec", "ENVIRONMENTS", "get_environment", "LAN_MBPS"]
 

@@ -16,18 +16,16 @@ import numpy as np
 from repro.cluster.compute import ComputeProfile
 from repro.cluster.network import AWS_REGION_BANDWIDTH, AWS_REGIONS, BandwidthMatrix
 from repro.cluster.topology import ClusterTopology
-from repro.cluster.traces import PiecewiseTrace, square_wave
+from repro.cluster.traces import PiecewiseTrace
 from repro.core.config import DktConfig, GbsConfig, LbsConfig, MaxNConfig
 from repro.core.engine import TrainingEngine
 from repro.experiments.environments import ENVIRONMENTS, get_environment
 from repro.experiments.reporting import FigureResult
 from repro.experiments.runner import (
-    RunSpec,
     bench_seeds,
     build_config,
     build_topology,
     cpu_workload,
-    run_experiment,
     run_seeds,
 )
 from repro.utils.metrics import detect_convergence, mean_and_ci95, time_to_accuracy

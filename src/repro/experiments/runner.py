@@ -17,7 +17,7 @@ Two scalings connect this reproduction to the paper's absolute numbers
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from functools import lru_cache
 
 import numpy as np
@@ -324,13 +324,27 @@ class RunSpec:
     config_overrides: dict = field(default_factory=dict)
 
 
-def run_experiment(spec: RunSpec) -> RunResult:
-    """Run one (environment, system, seed) experiment to its horizon."""
+def run_experiment(
+    spec: RunSpec,
+    *,
+    tracer=None,
+    metrics=None,
+    profiler=None,
+) -> RunResult:
+    """Run one (environment, system, seed) experiment to its horizon.
+
+    ``tracer`` / ``metrics`` / ``profiler`` are optional observability
+    sinks threaded into the engine (see :mod:`repro.obs`); by default
+    the run is untraced and unprofiled.
+    """
     env = get_environment(spec.environment)
     workload = workload_for(env)
     config = build_config(spec.system, workload, **spec.config_overrides)
     topo = build_topology(env, workload)
-    engine = TrainingEngine(config, topo, seed=spec.seed)
+    engine = TrainingEngine(
+        config, topo, seed=spec.seed,
+        tracer=tracer, metrics=metrics, profiler=profiler,
+    )
     horizon = spec.horizon if spec.horizon is not None else workload.horizon()
     return engine.run(horizon)
 

@@ -66,7 +66,6 @@ class BatchNorm(Layer):
         if self._cache is None:
             raise RuntimeError("backward called without a training forward pass")
         xhat, inv_std, axes, bs, x_shape = self._cache
-        m = float(np.prod([x_shape[a] for a in axes]))
         self.grads["gamma"] = (dout * xhat).sum(axis=axes)
         self.grads["beta"] = dout.sum(axis=axes)
         gamma = self.params["gamma"].reshape(bs)

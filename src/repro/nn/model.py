@@ -9,12 +9,13 @@ weight variables, but individual weight variables."
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Mapping
+from typing import Iterable, Mapping
 
 import numpy as np
 
 from repro.nn.layers.base import Layer
 from repro.nn.losses import softmax_cross_entropy
+from repro.obs import profile as _profile
 
 __all__ = ["Model"]
 
@@ -91,15 +92,16 @@ class Model:
         self, x: np.ndarray, labels: np.ndarray
     ) -> tuple[float, GradDict]:
         """One training step's loss and per-variable gradients (Eq. 6)."""
-        logits = self.forward(x, training=True)
-        loss, dlogits = softmax_cross_entropy(logits, labels)
-        dout = dlogits
-        for layer in reversed(self.layers):
-            dout = layer.backward(dout)
-        grads: GradDict = {}
-        for name, (layer, pname) in self._var_index.items():
-            grads[name] = layer.grads[pname]
-        return loss, grads
+        with _profile.scope("nn/loss_and_grads"):
+            logits = self.forward(x, training=True)
+            loss, dlogits = softmax_cross_entropy(logits, labels)
+            dout = dlogits
+            for layer in reversed(self.layers):
+                dout = layer.backward(dout)
+            grads: GradDict = {}
+            for name, (layer, pname) in self._var_index.items():
+                grads[name] = layer.grads[pname]
+            return loss, grads
 
     def apply_grads(
         self,
@@ -145,16 +147,17 @@ class Model:
         n = x.shape[0]
         if n == 0:
             raise ValueError("empty evaluation set")
-        total_loss = 0.0
-        correct = 0
-        for start in range(0, n, batch):
-            xb = x[start:start + batch]
-            yb = labels[start:start + batch]
-            logits = self.forward(xb, training=False)
-            loss, _ = softmax_cross_entropy(logits.copy(), yb)
-            total_loss += loss * xb.shape[0]
-            correct += int((logits.argmax(axis=1) == yb).sum())
-        return total_loss / n, correct / n
+        with _profile.scope("nn/evaluate"):
+            total_loss = 0.0
+            correct = 0
+            for start in range(0, n, batch):
+                xb = x[start:start + batch]
+                yb = labels[start:start + batch]
+                logits = self.forward(xb, training=False)
+                loss, _ = softmax_cross_entropy(logits.copy(), yb)
+                total_loss += loss * xb.shape[0]
+                correct += int((logits.argmax(axis=1) == yb).sum())
+            return total_loss / n, correct / n
 
     # ------------------------------------------------------------------
     # Checkpointing

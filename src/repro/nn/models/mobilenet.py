@@ -19,7 +19,6 @@ from repro.nn.layers import (
     Conv2D,
     Dense,
     DepthwiseConv2D,
-    Flatten,
     GlobalAvgPool2D,
     ReLU6,
 )

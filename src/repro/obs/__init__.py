@@ -1,0 +1,51 @@
+"""Observability: event tracing, metrics, and wall-clock profiling.
+
+Three independent instruments share this package (see
+``docs/observability.md``):
+
+* :mod:`repro.obs.trace` — spans and instant events in **simulated**
+  time, exported as Chrome-trace-format JSON (Perfetto /
+  ``chrome://tracing``). Answers "what happened when" inside one run.
+* :mod:`repro.obs.metrics` — named counters, gauges, and fixed-bucket
+  histograms with labels. Answers "how much / how many" and backs the
+  :class:`~repro.core.engine.RunResult` accounting.
+* :mod:`repro.obs.profile` — ``perf_counter`` scopes around the real
+  hot paths. Answers "where does the **wall clock** go" for ``BENCH_*``
+  runs and perf work.
+
+All three default to off (or to a no-op implementation) so the
+simulator's hot path pays only an ``enabled`` check when nothing is
+observing.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import Profiler, activate, active_profiler, scope
+from repro.obs.trace import (
+    NULL_TRACER,
+    TID_CTRL,
+    TID_DKT,
+    TID_ITER,
+    TID_NET,
+    TID_SYNC,
+    NullTracer,
+    Tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TID_ITER",
+    "TID_SYNC",
+    "TID_NET",
+    "TID_DKT",
+    "TID_CTRL",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Profiler",
+    "activate",
+    "active_profiler",
+    "scope",
+]

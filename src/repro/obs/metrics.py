@@ -1,0 +1,277 @@
+"""Metrics registry: named counters, gauges, and histograms with labels.
+
+Prometheus-flavoured but dependency-free. A :class:`MetricsRegistry`
+owns the metric families; each family carries a fixed tuple of label
+names and stores one value (or histogram state) per observed label-value
+combination. Label values may be any hashable (worker ids stay ints
+internally); they are stringified only on export.
+
+The engine records its run accounting here — ``grad_bytes_total``,
+``sync_wait_seconds_total``, ``maxn_chosen_n``, … (the full catalog is
+in ``docs/observability.md``) — and :class:`~repro.core.engine.RunResult`
+reads its ``link_bytes`` / ``compute_time`` / ``wait_time`` accessors
+back out of the registry, so a ``--metrics-out`` dump and the in-process
+result can never disagree.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from bisect import bisect_left
+from typing import Iterable, Sequence
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+
+# Latency-flavoured default buckets (seconds); +inf is implicit.
+DEFAULT_BUCKETS = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0
+)
+
+
+class _Family:
+    """Shared bookkeeping: name, help text, and the label schema."""
+
+    kind = "abstract"
+
+    def __init__(self, name: str, help: str, label_names: Sequence[str]):
+        self.name = name
+        self.help = help
+        self.label_names = tuple(label_names)
+
+    def _key(self, labels: tuple) -> tuple:
+        if len(labels) != len(self.label_names):
+            raise ValueError(
+                f"{self.name}: expected {len(self.label_names)} label value(s) "
+                f"{self.label_names}, got {labels!r}"
+            )
+        return labels
+
+    def _label_dict(self, key: tuple) -> dict[str, str]:
+        return {n: str(v) for n, v in zip(self.label_names, key)}
+
+
+class Counter(_Family):
+    """A monotonically increasing sum per label combination."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, label_names: Sequence[str]):
+        super().__init__(name, help, label_names)
+        self._values: dict[tuple, float] = {}
+
+    def inc(self, amount: float = 1.0, *labels) -> None:
+        """Add ``amount`` (must be >= 0) to the labelled series."""
+        if amount < 0:
+            raise ValueError(f"{self.name}: counters cannot decrease")
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, *labels) -> float:
+        """Current sum for one label combination (0.0 if never incremented)."""
+        return self._values.get(self._key(labels), 0.0)
+
+    def items(self) -> Iterable[tuple[tuple, float]]:
+        """``(label_values, value)`` pairs in first-seen order."""
+        return self._values.items()
+
+    def samples(self) -> list[dict]:
+        """Export form: one ``{labels, value}`` record per series."""
+        return [
+            {"labels": self._label_dict(k), "value": v}
+            for k, v in self._values.items()
+        ]
+
+
+class Gauge(_Family):
+    """A value that can go up and down; remembers the last set value."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str, label_names: Sequence[str]):
+        super().__init__(name, help, label_names)
+        self._values: dict[tuple, float] = {}
+
+    def set(self, value: float, *labels) -> None:
+        """Set the labelled series to ``value``."""
+        self._values[self._key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, *labels) -> None:
+        """Adjust the labelled series by ``amount`` (may be negative)."""
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, *labels) -> float:
+        """Last set value (0.0 if never set)."""
+        return self._values.get(self._key(labels), 0.0)
+
+    def items(self) -> Iterable[tuple[tuple, float]]:
+        """``(label_values, value)`` pairs in first-seen order."""
+        return self._values.items()
+
+    def samples(self) -> list[dict]:
+        """Export form: one ``{labels, value}`` record per series."""
+        return [
+            {"labels": self._label_dict(k), "value": v}
+            for k, v in self._values.items()
+        ]
+
+
+class _HistogramState:
+    __slots__ = ("bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(self, n_buckets: int):
+        self.bucket_counts = [0] * (n_buckets + 1)  # +1 for +inf
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+
+class Histogram(_Family):
+    """Fixed-bucket histogram (cumulative on export, like Prometheus).
+
+    Buckets are upper edges; an implicit ``+inf`` bucket catches the
+    rest. ``min``/``max``/``sum``/``count`` ride along so reports can
+    print means and ranges without re-deriving them from buckets.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        label_names: Sequence[str],
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help, label_names)
+        edges = tuple(sorted(float(b) for b in buckets))
+        if not edges:
+            raise ValueError(f"{self.name}: need at least one bucket edge")
+        if len(set(edges)) != len(edges):
+            raise ValueError(f"{self.name}: duplicate bucket edges")
+        self.buckets = edges
+        self._states: dict[tuple, _HistogramState] = {}
+
+    def observe(self, value: float, *labels) -> None:
+        """Record one observation into the labelled series."""
+        key = self._key(labels)
+        state = self._states.get(key)
+        if state is None:
+            state = self._states[key] = _HistogramState(len(self.buckets))
+        # bisect_left: the first edge >= value, so edges act as inclusive
+        # upper bounds (Prometheus ``le`` semantics); past the last edge
+        # the index lands on the +inf slot.
+        state.bucket_counts[bisect_left(self.buckets, value)] += 1
+        state.count += 1
+        state.sum += value
+        state.min = min(state.min, value)
+        state.max = max(state.max, value)
+
+    def count(self, *labels) -> int:
+        """Number of observations for one label combination."""
+        state = self._states.get(self._key(labels))
+        return state.count if state else 0
+
+    def sum(self, *labels) -> float:
+        """Sum of observations for one label combination."""
+        state = self._states.get(self._key(labels))
+        return state.sum if state else 0.0
+
+    def mean(self, *labels) -> float:
+        """Mean observation (0.0 before any observation)."""
+        state = self._states.get(self._key(labels))
+        if not state or state.count == 0:
+            return 0.0
+        return state.sum / state.count
+
+    def items(self) -> Iterable[tuple[tuple, _HistogramState]]:
+        """``(label_values, state)`` pairs in first-seen order."""
+        return self._states.items()
+
+    def samples(self) -> list[dict]:
+        """Export form: cumulative buckets plus count/sum/min/max."""
+        out = []
+        for key, st in self._states.items():
+            cumulative = []
+            running = 0
+            for edge, c in zip(self.buckets, st.bucket_counts):
+                running += c
+                cumulative.append({"le": edge, "count": running})
+            cumulative.append({"le": "+inf", "count": st.count})
+            out.append(
+                {
+                    "labels": self._label_dict(key),
+                    "count": st.count,
+                    "sum": st.sum,
+                    "min": st.min if st.count else None,
+                    "max": st.max if st.count else None,
+                    "buckets": cumulative,
+                }
+            )
+        return out
+
+
+class MetricsRegistry:
+    """Owns metric families; get-or-create by name with schema checks."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+
+    def _get_or_create(self, cls, name, help, label_names, **kw):
+        fam = self._families.get(name)
+        if fam is not None:
+            if not isinstance(fam, cls) or fam.label_names != tuple(label_names):
+                raise ValueError(
+                    f"metric {name!r} already registered as {fam.kind} "
+                    f"with labels {fam.label_names}"
+                )
+            return fam
+        fam = cls(name, help, label_names, **kw)
+        self._families[name] = fam
+        return fam
+
+    def counter(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> Counter:
+        """Get or register a counter family."""
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Gauge:
+        """Get or register a gauge family."""
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Get or register a histogram family."""
+        return self._get_or_create(Histogram, name, help, labels, buckets=buckets)
+
+    def get(self, name: str) -> _Family | None:
+        """The registered family, or None."""
+        return self._families.get(name)
+
+    def names(self) -> list[str]:
+        """Registered family names in registration order."""
+        return list(self._families)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable dump of every family and sample."""
+        return {
+            name: {
+                "kind": fam.kind,
+                "help": fam.help,
+                "labels": list(fam.label_names),
+                "samples": fam.samples(),
+            }
+            for name, fam in self._families.items()
+        }
+
+    def write(self, path: str | pathlib.Path) -> None:
+        """Dump the registry as indented JSON."""
+        pathlib.Path(path).write_text(json.dumps(self.to_dict(), indent=2))

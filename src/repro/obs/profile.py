@@ -1,0 +1,157 @@
+"""Wall-clock profiling hooks for the simulator's real hot paths.
+
+Unlike :mod:`repro.obs.trace` (simulated time), this measures where the
+**wall clock** goes: NumPy forward/backward passes, Max-N payload
+selection, and event-loop dispatch. ``BENCH_*`` runs and the CLI's
+``--profile`` flag use it to attribute runtime to subsystems and pick
+the next optimisation target.
+
+Instrumentation sites call the module-level :func:`scope`::
+
+    with profile.scope("nn/loss_and_grads"):
+        ...
+
+which resolves the *active* profiler at entry. With no active profiler
+(the default) it returns a shared no-op context manager — one function
+call and a ``None`` check, no ``perf_counter`` — so always-on
+instrumentation costs effectively nothing. Activate a profiler for a
+region with::
+
+    prof = Profiler()
+    with activate(prof):
+        engine.run(...)
+    print(prof.report())
+
+Scopes are **inclusive**: a scope's total contains any scopes entered
+beneath it (``simclock/dispatch`` in particular contains nearly
+everything, since all simulation work runs inside event callbacks).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Iterator
+
+__all__ = ["Profiler", "activate", "active_profiler", "scope", "set_active"]
+
+
+class _NullScope:
+    """Shared do-nothing context manager for the profiling-off path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SCOPE = _NullScope()
+
+# The single active profiler (simulations are single-threaded; nesting
+# via ``activate`` restores the previous one on exit).
+_active: "Profiler | None" = None
+
+
+class _Scope:
+    """A running timed scope; records into its profiler on exit."""
+
+    __slots__ = ("profiler", "name", "_t0")
+
+    def __init__(self, profiler: "Profiler", name: str):
+        self.profiler = profiler
+        self.name = name
+
+    def __enter__(self):
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self.profiler.add(self.name, perf_counter() - self._t0)
+        return False
+
+
+class Profiler:
+    """Aggregates wall-clock seconds per named scope."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        # name -> [calls, total_seconds]
+        self._totals: dict[str, list] = {}
+
+    def scope(self, name: str) -> _Scope:
+        """A context manager timing one entry of ``name``."""
+        return _Scope(self, name)
+
+    def add(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Record ``seconds`` of wall time (and ``calls`` entries)."""
+        entry = self._totals.get(name)
+        if entry is None:
+            self._totals[name] = [calls, seconds]
+        else:
+            entry[0] += calls
+            entry[1] += seconds
+
+    def totals(self) -> dict[str, tuple[int, float]]:
+        """``{name: (calls, total_seconds)}`` for every scope seen."""
+        return {name: (c, s) for name, (c, s) in self._totals.items()}
+
+    def total(self, name: str) -> float:
+        """Total wall seconds recorded under ``name`` (0.0 if unseen)."""
+        entry = self._totals.get(name)
+        return entry[1] if entry else 0.0
+
+    def report(self) -> str:
+        """A text table of scopes sorted by total wall time (descending).
+
+        Scopes are inclusive of nested scopes, so columns do not sum to
+        the run's wall time.
+        """
+        if not self._totals:
+            return "profile: no scopes recorded"
+        rows = sorted(self._totals.items(), key=lambda kv: -kv[1][1])
+        width = max(len("scope"), max(len(n) for n, _ in rows))
+        lines = [
+            f"{'scope'.ljust(width)}  {'calls':>9}  {'total s':>10}  {'mean ms':>10}",
+            f"{'-' * width}  {'-' * 9}  {'-' * 10}  {'-' * 10}",
+        ]
+        for name, (calls, total) in rows:
+            mean_ms = (total / calls) * 1e3 if calls else 0.0
+            lines.append(
+                f"{name.ljust(width)}  {calls:>9d}  {total:>10.4f}  {mean_ms:>10.4f}"
+            )
+        return "\n".join(lines)
+
+
+def set_active(profiler: Profiler | None) -> Profiler | None:
+    """Install ``profiler`` as the global target; returns the previous one."""
+    global _active
+    previous = _active
+    _active = profiler
+    return previous
+
+
+def active_profiler() -> Profiler | None:
+    """The currently active profiler, or None when profiling is off."""
+    return _active
+
+
+@contextmanager
+def activate(profiler: Profiler) -> Iterator[Profiler]:
+    """Make ``profiler`` active for the duration of the block."""
+    previous = set_active(profiler)
+    try:
+        yield profiler
+    finally:
+        set_active(previous)
+
+
+def scope(name: str):
+    """Time ``name`` against the active profiler (no-op when none)."""
+    profiler = _active
+    if profiler is None:
+        return _NULL_SCOPE
+    return _Scope(profiler, name)

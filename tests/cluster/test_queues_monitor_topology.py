@@ -73,6 +73,18 @@ class TestNetworkResourceMonitor:
         vals = [mon.available_bandwidth(1, 0.0) for _ in range(400)]
         assert np.mean(vals) == pytest.approx(50.0, rel=0.05)
 
+    def test_noise_without_rng_rejected(self):
+        # noise > 0 with no rng would silently return noiseless
+        # estimates; the constructor must refuse the combination.
+        m = BandwidthMatrix.from_worker_capacity([50, 50])
+        with pytest.raises(ValueError, match="requires an rng"):
+            NetworkResourceMonitor(0, m, noise=0.2)
+
+    def test_negative_noise_rejected(self):
+        m = BandwidthMatrix.from_worker_capacity([50, 50])
+        with pytest.raises(ValueError, match="non-negative"):
+            NetworkResourceMonitor(0, m, noise=-0.1, rng=np.random.default_rng(0))
+
 
 class TestClusterTopology:
     def test_build_from_table3_style_spec(self):

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cluster.topology import ClusterTopology
-from repro.core.config import DktConfig, GbsConfig, LbsConfig, MaxNConfig, TrainConfig
+from repro.core.config import DktConfig, GbsConfig, LbsConfig, MaxNConfig
 from repro.core.engine import TrainingEngine
 
 

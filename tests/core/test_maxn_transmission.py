@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.cluster.messages import VARIABLE_HEADER_BYTES, sparse_payload_bytes
+from repro.cluster.messages import sparse_payload_bytes
 from repro.core.config import MaxNConfig
 from repro.core.maxn import select_max_n, select_payload, selection_count
 from repro.core.transmission import TransmissionPlanner, fit_n_to_budget

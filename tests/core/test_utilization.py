@@ -1,6 +1,5 @@
 """Tests for the compute/wait utilization accounting."""
 
-import pytest
 
 from repro.cluster.topology import ClusterTopology
 from repro.core.config import DktConfig, GbsConfig, LbsConfig, MaxNConfig, TrainConfig

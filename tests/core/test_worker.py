@@ -10,7 +10,7 @@ from repro.cluster.messages import (
     RcpShareMessage,
     WeightMessage,
 )
-from repro.core.config import GbsConfig, LbsConfig, TrainConfig
+from repro.core.config import LbsConfig
 from repro.core.engine import TrainingEngine
 
 

@@ -1,9 +1,7 @@
 """Tests for workload calibration, config building, and topology scaling."""
 
-import numpy as np
 import pytest
 
-from repro.core.engine import TrainingEngine
 from repro.experiments.environments import get_environment
 from repro.experiments.runner import (
     RunSpec,

@@ -1,6 +1,5 @@
 """Integration tests for elastic membership during training."""
 
-import numpy as np
 import pytest
 
 from repro.cluster.membership import MembershipSchedule

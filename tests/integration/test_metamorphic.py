@@ -5,7 +5,6 @@ and asserts the directional consequence — the level of validation a
 simulator needs beyond unit tests on its parts.
 """
 
-import pytest
 
 from repro.cluster.topology import ClusterTopology
 from repro.core.config import DktConfig, GbsConfig, LbsConfig, MaxNConfig, TrainConfig

@@ -1,6 +1,5 @@
 """Combined extensions: partial overlay + elastic membership together."""
 
-import pytest
 
 from repro.cluster.membership import MembershipSchedule
 from repro.cluster.peergraph import PeerGraph

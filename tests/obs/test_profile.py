@@ -1,0 +1,58 @@
+"""Unit tests for the wall-clock profiler."""
+
+from repro.obs import profile
+from repro.obs.profile import Profiler, activate, active_profiler, scope, set_active
+
+
+class TestProfiler:
+    def test_scope_records_calls_and_time(self):
+        prof = Profiler()
+        with prof.scope("work"):
+            pass
+        with prof.scope("work"):
+            pass
+        calls, total = prof.totals()["work"]
+        assert calls == 2
+        assert total >= 0.0
+        assert prof.total("work") == total
+        assert prof.total("missing") == 0.0
+
+    def test_add_merges(self):
+        prof = Profiler()
+        prof.add("dispatch", 0.5, calls=10)
+        prof.add("dispatch", 0.25, calls=5)
+        assert prof.totals()["dispatch"] == (15, 0.75)
+
+    def test_report_sorted_by_total(self):
+        prof = Profiler()
+        prof.add("small", 0.1)
+        prof.add("big", 2.0)
+        lines = prof.report().splitlines()
+        assert lines[2].startswith("big")
+        assert lines[3].startswith("small")
+
+    def test_report_empty(self):
+        assert "no scopes" in Profiler().report()
+
+
+class TestModuleScope:
+    def test_noop_when_inactive(self):
+        assert active_profiler() is None
+        s = scope("anything")
+        assert s is profile._NULL_SCOPE
+        with s:
+            pass
+
+    def test_activate_restores_previous(self):
+        outer, inner = Profiler(), Profiler()
+        previous = set_active(outer)
+        try:
+            with activate(inner):
+                assert active_profiler() is inner
+                with scope("nested"):
+                    pass
+            assert active_profiler() is outer
+        finally:
+            set_active(previous)
+        assert "nested" in inner.totals()
+        assert "nested" not in outer.totals()

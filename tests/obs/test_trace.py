@@ -1,0 +1,95 @@
+"""Unit tests for the Chrome-trace event tracer."""
+
+import json
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    THREAD_NAMES,
+    TID_CTRL,
+    TID_DKT,
+    TID_ITER,
+    TID_NET,
+    TID_SYNC,
+    NullTracer,
+    Tracer,
+)
+
+
+class TestTracer:
+    def test_complete_span_fields(self):
+        tr = Tracer()
+        tr.complete("compute", 0, TID_ITER, 1.5, 0.25, cat="iter",
+                    args={"iteration": 3})
+        [ev] = tr.events()
+        assert ev == {
+            "ph": "X", "name": "compute", "cat": "iter", "pid": 0,
+            "tid": TID_ITER, "ts": 1.5e6, "dur": 0.25e6,
+            "args": {"iteration": 3},
+        }
+
+    def test_negative_duration_clamped(self):
+        tr = Tracer()
+        tr.complete("x", 0, 0, 1.0, -0.5)
+        assert tr.events()[0]["dur"] == 0.0
+
+    def test_instant_scope(self):
+        tr = Tracer()
+        tr.instant("membership-leave", 3, 0, 100.0, cat="membership", scope="g")
+        [ev] = tr.events()
+        assert ev["ph"] == "i" and ev["s"] == "g" and ev["ts"] == 100.0e6
+
+    def test_counter_event(self):
+        tr = Tracer()
+        tr.counter("gbs", 6, 30.0, {"gbs": 384})
+        [ev] = tr.events()
+        assert ev["ph"] == "C" and ev["args"] == {"gbs": 384}
+
+    def test_metadata_first_and_deduped(self):
+        tr = Tracer()
+        tr.complete("compute", 0, TID_ITER, 0.0, 1.0)
+        tr.set_process_name(0, "worker 0")
+        tr.set_process_name(0, "worker 0")  # duplicate ignored
+        tr.set_thread_name(0, TID_SYNC, THREAD_NAMES[TID_SYNC])
+        events = tr.events()
+        assert [e["ph"] for e in events] == ["M", "M", "X"]
+        names = [e["args"]["name"] for e in events if e["ph"] == "M"]
+        assert names == ["worker 0", "sync-wait"]
+
+    def test_dumps_is_valid_chrome_trace(self):
+        tr = Tracer()
+        tr.set_process_name(1, "worker 1")
+        tr.complete("grad->2", 1, TID_NET, 0.0, 0.5, cat="net",
+                    args={"dst": 2, "bytes": 1024})
+        doc = json.loads(tr.dumps())
+        assert doc["displayTimeUnit"] == "ms"
+        assert len(doc["traceEvents"]) == 2
+
+    def test_write_round_trips(self, tmp_path):
+        tr = Tracer()
+        tr.instant("dkt-share", 2, TID_DKT, 12.0, cat="dkt")
+        path = tmp_path / "t.json"
+        tr.write(path)
+        assert json.loads(path.read_text()) == tr.to_json()
+
+    def test_len_counts_events_not_metadata(self):
+        tr = Tracer()
+        tr.set_process_name(0, "worker 0")
+        assert len(tr) == 0
+        tr.instant("x", 0, TID_CTRL, 0.0)
+        assert len(tr) == 1
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        nt = NullTracer()
+        assert not nt.enabled
+        nt.set_process_name(0, "w")
+        nt.set_thread_name(0, 0, "t")
+        nt.complete("a", 0, 0, 0.0, 1.0)
+        nt.instant("b", 0, 0, 0.0)
+        nt.counter("c", 0, 0.0, {"v": 1})
+        assert nt.events() == [] and len(nt) == 0
+
+    def test_singleton_shared(self):
+        assert isinstance(NULL_TRACER, NullTracer)
+        assert not NULL_TRACER.enabled

@@ -71,7 +71,20 @@ def test_n_100_is_identity(g):
         np.testing.assert_array_equal(vals, g.reshape(-1))
 
 
-@given(g=finite_grads, n=valid_n, scale=st.floats(0.01, 100.0))
+# Scale invariance only holds away from the float underflow boundary:
+# a subnormal entry (e.g. 5e-324) times scale < 1 flushes to exactly
+# zero, legitimately changing the selection. Keep magnitudes either
+# zero or large enough that scaling by 0.01 stays normal.
+scale_safe_grads = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(1, 200),
+    elements=st.floats(
+        -1e6, 1e6, allow_nan=False, allow_infinity=False, width=64
+    ).filter(lambda v: v == 0.0 or abs(v) >= 1e-6),
+)
+
+
+@given(g=scale_safe_grads, n=valid_n, scale=st.floats(0.01, 100.0))
 @settings(max_examples=100, deadline=None)
 def test_selection_scale_invariant(g, n, scale):
     """Scaling all gradients never changes which entries are selected."""

@@ -101,3 +101,49 @@ class TestCommands:
         doc = json.loads(out_json.read_text())
         assert doc["n_workers"] == 2
         assert out_csv.read_text().startswith("worker,time_s,accuracy")
+
+    def test_run_with_observability_flags(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "run.trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        rc = main(
+            [
+                "run", "-e", "Homo A", "-s", "dlion", "--horizon", "15",
+                "--trace", str(trace_path),
+                "--metrics-out", str(metrics_path),
+                "--profile",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "trace          :" in out
+        assert "simclock/dispatch" in out  # the profile table
+        trace = json.loads(trace_path.read_text())
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert "compute" in names
+        metrics = json.loads(metrics_path.read_text())
+        assert "grad_bytes_total" in metrics
+        assert "maxn_chosen_n" in metrics
+
+    def test_report_summarizes_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "run.trace.json"
+        assert main(
+            ["run", "-e", "Homo A", "-s", "dlion", "--horizon", "15",
+             "--trace", str(trace_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["report", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "per-worker compute/wait breakdown" in out
+        assert "per-link utilization" in out
+        assert "worker 0" in out
+
+    def test_report_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "not-a-trace.json"
+        bad.write_text('{"foo": 1}')
+        assert main(["report", str(bad)]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_report_missing_file(self, capsys):
+        assert main(["report", "/nonexistent/trace.json"]) == 2

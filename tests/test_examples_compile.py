@@ -7,8 +7,6 @@ with a tiny horizon as the one true end-to-end example check.)
 
 import pathlib
 import py_compile
-import subprocess
-import sys
 
 import pytest
 

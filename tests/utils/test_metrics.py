@@ -1,5 +1,6 @@
 """Tests for time series and the paper's three metrics."""
 
+import numpy as np
 import pytest
 
 from repro.utils.metrics import (
@@ -53,6 +54,13 @@ class TestTimeSeries:
         s = make_series([(0, 0.3), (1, 0.7), (2, 0.5)])
         assert s.max_value() == 0.7
 
+    def test_value_at_before_first_sample(self):
+        # LOCF has nothing to carry forward yet: clamp to the first value,
+        # even for times far before (or negative relative to) the start.
+        s = make_series([(10, 0.4), (20, 0.8)])
+        assert s.value_at(9.999) == 0.4
+        assert s.value_at(-100.0) == 0.4
+
 
 class TestAccuracyAtTime:
     def test_best_up_to_t(self):
@@ -97,6 +105,19 @@ class TestDetectConvergence:
         s = make_series([(i, 0.5) for i in range(5)])
         assert detect_convergence(s, window=5) is None
 
+    def test_exactly_two_windows_is_enough(self):
+        # The length gate is `size < 2 * window`: exactly 2*window flat
+        # samples must be eligible and detect a plateau immediately.
+        window = 5
+        s = make_series([(i, 0.6) for i in range(2 * window)])
+        conv = detect_convergence(s, window=window, tolerance=0.01)
+        assert conv == (float(window), 0.6)
+
+    def test_one_sample_short_of_two_windows_returns_none(self):
+        window = 5
+        s = make_series([(i, 0.6) for i in range(2 * window - 1)])
+        assert detect_convergence(s, window=window, tolerance=0.01) is None
+
 
 class TestMeanAndCi95:
     def test_single_sample(self):
@@ -116,3 +137,20 @@ class TestMeanAndCi95:
     def test_empty_raises(self):
         with pytest.raises(ValueError):
             mean_and_ci95([])
+
+    def test_large_n_falls_back_to_normal_quantile(self):
+        # n = 12 -> df = 11, outside the Student-t table: 1.96 applies.
+        samples = [0.1 * i for i in range(12)]
+        mean, ci = mean_and_ci95(samples)
+        arr = np.asarray(samples)
+        sem = arr.std(ddof=1) / np.sqrt(arr.size)
+        assert mean == pytest.approx(arr.mean())
+        assert ci == pytest.approx(1.96 * sem)
+
+    def test_largest_tabulated_n_uses_t_quantile(self):
+        # n = 11 -> df = 10 is the last tabulated row (2.228, not 1.96).
+        samples = [0.1 * i for i in range(11)]
+        _, ci = mean_and_ci95(samples)
+        arr = np.asarray(samples)
+        sem = arr.std(ddof=1) / np.sqrt(arr.size)
+        assert ci == pytest.approx(2.228 * sem)
