@@ -4,23 +4,45 @@ Unlike the per-figure benches (one full experiment per run), these are
 classic pytest-benchmark microbenchmarks with many rounds: the NumPy
 kernels the simulator spends its wall-clock time in. Regressions here
 multiply directly into every experiment's runtime.
+
+CI runs this file in smoke mode (``REPRO_BENCH_SMOKE=1`` with
+``--benchmark-disable``): every benchmark executes once for
+correctness, and the wall-clock threshold assertions are skipped.
 """
+
+import os
+import time
 
 import numpy as np
 import pytest
 
 from repro.cluster.simclock import SimClock
+from repro.core.config import MaxNConfig
 from repro.core.maxn import select_max_n
-from repro.core.transmission import fit_n_to_budget
+from repro.core.transmission import (
+    GradientHistograms,
+    TransmissionPlanner,
+    _fit_n_bisect,
+    fit_n_to_budget,
+)
 from repro.nn.layers.conv import Conv2D, im2col
 from repro.nn.models import cipher_cnn
+from repro.obs.profile import Profiler, activate
 
 RNG = np.random.default_rng(0)
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 
 
 @pytest.fixture(scope="module")
 def big_grad():
     return RNG.normal(size=786_432).astype(np.float32)  # a 3072x256 dense layer
+
+
+@pytest.fixture(scope="module")
+def many_links():
+    """32 destinations with distinct bandwidths (no two budgets equal)."""
+    return {dst: 1.5 * (dst + 1) for dst in range(32)}
 
 
 @pytest.fixture(scope="module")
@@ -37,6 +59,71 @@ def test_budget_fit_768k(benchmark, big_grad):
     grads = {"w": big_grad}
     n = benchmark(fit_n_to_budget, grads, 500_000.0)
     assert 0.85 <= n <= 100.0
+
+
+def test_batched_plan_32_links(benchmark, big_grad, many_links):
+    """One full plan over 32 heterogeneous links: histograms built once,
+    all budgets answered by one vectorized fit, payloads shared by bin."""
+    planner = TransmissionPlanner(MaxNConfig())
+    grads = {"w": big_grad}
+    plans = benchmark(planner.plan, grads, many_links, 0.001)
+    assert len(plans) == 32
+
+
+def test_histogram_build_768k(benchmark, big_grad):
+    hist = benchmark(GradientHistograms, {"w": big_grad})
+    assert hist.bytes_at(100.0) > 0
+
+
+def test_plan_builds_histograms_once(big_grad, many_links):
+    """Correctness of the batching itself (always runs, smoke included):
+    a 32-link plan enters the histogram scope exactly once and never
+    falls back to the per-link fit."""
+    planner = TransmissionPlanner(MaxNConfig())
+    prof = Profiler()
+    # pairs of links share a bandwidth -> 16 distinct budgets over 32 links
+    paired = {dst: 1.5 * (dst // 2 + 1) for dst in range(32)}
+    with activate(prof):
+        plans = planner.plan({"w": big_grad}, paired, 0.001)
+    assert len(plans) == 32
+    calls, _ = prof.totals()["maxn/histograms"]
+    assert calls == 1
+    assert "maxn/fit_n_to_budget" not in prof.totals()
+    # payload sharing: at most one selection per distinct budget
+    select_calls, _ = prof.totals()["maxn/select_payload"]
+    assert select_calls <= 16
+
+
+@pytest.mark.skipif(SMOKE, reason="wall-clock threshold; skipped in CI smoke")
+def test_batched_plan_speedup(big_grad, many_links):
+    """The batched fit must beat a per-link bisection loop (the
+    pre-batching planner) by >= 3x on a 32-link plan."""
+    grads = {"w": big_grad}
+    planner = TransmissionPlanner(MaxNConfig())
+    budgets = [planner.budget_bytes(bw, 0.001) for bw in many_links.values()]
+
+    def legacy():
+        for b in budgets:
+            _fit_n_bisect(grads, b)
+
+    def batched():
+        GradientHistograms(grads).fit_many(budgets)
+
+    def best_of(fn, reps=5):
+        fn()  # warm-up
+        times = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    t_legacy = best_of(legacy)
+    t_batched = best_of(batched)
+    assert t_legacy / t_batched >= 3.0, (
+        f"batched fit only {t_legacy / t_batched:.1f}x faster "
+        f"({t_legacy * 1e3:.2f}ms vs {t_batched * 1e3:.2f}ms)"
+    )
 
 
 def test_im2col_cipher_shape(benchmark, conv_batch):

@@ -19,7 +19,13 @@ from repro.core.gbs_controller import GbsController
 from repro.core.lbs_controller import LbsController, allocate_lbs
 from repro.core.weighted_update import dynamic_batching_weight
 from repro.core.maxn import select_max_n, select_payload
-from repro.core.transmission import TransmissionPlanner, fit_n_to_budget
+from repro.core.transmission import (
+    GradientHistograms,
+    TransmissionPlanner,
+    fit_level_to_budget,
+    fit_levels_to_budgets,
+    fit_n_to_budget,
+)
 from repro.core.dkt import merge_weights, DktState
 from repro.core.sync import SyncPolicy, make_sync_policy
 from repro.core.engine import TrainingEngine, RunResult
@@ -36,8 +42,11 @@ __all__ = [
     "dynamic_batching_weight",
     "select_max_n",
     "select_payload",
+    "GradientHistograms",
     "TransmissionPlanner",
     "fit_n_to_budget",
+    "fit_level_to_budget",
+    "fit_levels_to_budgets",
     "merge_weights",
     "DktState",
     "SyncPolicy",

@@ -319,6 +319,16 @@ class TrainingEngine:
         self._c_events = m.counter(
             "events_processed", "simulation events dispatched"
         )
+        # Wall-clock attribution (populated at finalize when a profiler
+        # is attached, empty otherwise): lets a --metrics-out dump carry
+        # the same per-scope numbers the --profile table prints.
+        self._c_profile_seconds = m.counter(
+            "profile_seconds_total",
+            "wall-clock seconds per profiler scope", ("scope",),
+        )
+        self._c_profile_calls = m.counter(
+            "profile_calls_total", "profiler scope entries", ("scope",)
+        )
 
     def _emit_trace_metadata(self) -> None:
         """Name one trace process per worker plus the cluster pseudo-process."""
@@ -651,4 +661,8 @@ class TrainingEngine:
         self.result.epochs = self.global_epoch()
         self.result.events = self.clock.events_processed
         self._c_events.inc(self.clock.events_processed)
+        if self.profiler is not None:
+            for name, (calls, total) in self.profiler.totals().items():
+                self._c_profile_seconds.inc(total, name)
+                self._c_profile_calls.inc(calls, name)
         return self.result

@@ -57,10 +57,39 @@ class GradientSelector:
         """
         return int(self.select(grad, level)[0].size)
 
+    def count_at_levels(self, grad: np.ndarray, levels: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`count_at` over an array of levels.
+
+        The batched budget fit (``fit_levels_to_budgets``) prices a
+        whole level grid through this in one pass per variable.
+        Overrides must return counts exactly equal to ``count_at`` at
+        every level and monotone non-decreasing in level. This base
+        implementation merely loops — the transmission planner treats a
+        selector that does not override it as unbatchable and falls
+        back to per-link bisection, so the loop only ever runs in
+        tests and one-off calls.
+        """
+        return np.array(
+            [self.count_at(grad, lv) for lv in levels], dtype=np.int64
+        )
+
     @staticmethod
     def _validate(level: float) -> None:
         if not 0.0 < level <= 100.0:
             raise ValueError(f"level must be in (0, 100], got {level}")
+
+    @staticmethod
+    def _validate_levels(levels: np.ndarray) -> np.ndarray:
+        levels = np.asarray(levels, dtype=np.float64)
+        if levels.size and not ((levels > 0.0) & (levels <= 100.0)).all():
+            raise ValueError("levels must all be in (0, 100]")
+        return levels
+
+
+def _fraction_counts(size: int, levels: np.ndarray) -> np.ndarray:
+    """Entries kept by a keep-``level``-percent rule (at least one)."""
+    k = np.ceil(size * levels / 100.0).astype(np.int64)
+    return np.minimum(size, np.maximum(1, k))
 
 
 class MaxNSelector(GradientSelector):
@@ -72,6 +101,21 @@ class MaxNSelector(GradientSelector):
         from repro.core.maxn import select_max_n
 
         return select_max_n(grad, level)
+
+    def count_at_levels(self, grad, levels):
+        levels = self._validate_levels(levels)
+        mags = np.abs(grad.reshape(-1))
+        mx = float(mags.max(initial=0.0))
+        if mx == 0.0:
+            return np.zeros(levels.size, dtype=np.int64)
+        # One sort, then every level is a searchsorted over it. The
+        # thresholds are cast to the gradient dtype so the comparison
+        # matches select_max_n's ``mags >= thr`` exactly (NumPy casts a
+        # python-float threshold to the array dtype before comparing).
+        order = np.sort(mags)
+        thr = ((1.0 - levels / 100.0) * mx).astype(mags.dtype, copy=False)
+        below = np.searchsorted(order, thr, side="left")
+        return (mags.size - below).astype(np.int64)
 
 
 class TopKSelector(GradientSelector):
@@ -103,6 +147,12 @@ class TopKSelector(GradientSelector):
         if size == 0 or float(np.abs(grad).max(initial=0.0)) == 0.0:
             return 0
         return min(size, max(1, math.ceil(size * level / 100.0)))
+
+    def count_at_levels(self, grad, levels):
+        levels = self._validate_levels(levels)
+        if grad.size == 0 or float(np.abs(grad).max(initial=0.0)) == 0.0:
+            return np.zeros(levels.size, dtype=np.int64)
+        return _fraction_counts(grad.size, levels)
 
 
 class RandomKSelector(GradientSelector):
@@ -138,6 +188,12 @@ class RandomKSelector(GradientSelector):
         if size == 0 or float(np.abs(grad).max(initial=0.0)) == 0.0:
             return 0
         return min(size, max(1, math.ceil(size * level / 100.0)))
+
+    def count_at_levels(self, grad, levels):
+        levels = self._validate_levels(levels)
+        if grad.size == 0 or float(np.abs(grad).max(initial=0.0)) == 0.0:
+            return np.zeros(levels.size, dtype=np.int64)
+        return _fraction_counts(grad.size, levels)
 
 
 class ThresholdSelector(GradientSelector):
@@ -175,6 +231,20 @@ class ThresholdSelector(GradientSelector):
             return 0
         thr = self.base_threshold * (100.0 / level - 1.0 + 1e-9)
         return max(1, int(np.count_nonzero(mags >= thr)))
+
+    def count_at_levels(self, grad, levels):
+        levels = self._validate_levels(levels)
+        mags = np.abs(grad.reshape(-1))
+        if float(mags.max(initial=0.0)) == 0.0:
+            return np.zeros(levels.size, dtype=np.int64)
+        order = np.sort(mags)
+        thr = self.base_threshold * (100.0 / levels - 1.0 + 1e-9)
+        # Cast to the gradient dtype so the comparison matches
+        # count_at's ``mags >= thr`` exactly (including overflow of a
+        # huge float64 threshold to float32 inf — count 0, floored to 1).
+        thr = thr.astype(mags.dtype, copy=False)
+        below = np.searchsorted(order, thr, side="left")
+        return np.maximum(1, mags.size - below).astype(np.int64)
 
 
 def make_selector(

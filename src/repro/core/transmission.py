@@ -12,77 +12,630 @@ time). The chosen N is floored at ``n_min`` (the data-quality floor,
 
 Performance: evaluating a candidate N must not re-scan the gradient —
 models can have single variables with ~10⁶ entries and this runs every
-iteration. We build one magnitude histogram per variable (one O(n)
-pass) whose suffix-cumulative counts answer "how many entries fall in
-the top-N% band" in O(1), *rounding the count up* (bin-granularity), so
-a candidate judged feasible is guaranteed feasible exactly. A bisection
-over N then finds the largest feasible value.
+iteration. :class:`GradientHistograms` builds one magnitude histogram
+per variable (one O(n) pass over the gradient map, total) and folds the
+suffix-cumulative counts of all variables into a single
+bytes-at-every-bin-edge array (O(BINS) extra), *rounding each
+per-variable count up* to bin granularity so a candidate judged
+feasible is guaranteed feasible exactly. Every destination budget is
+then answered by one vectorized ``searchsorted`` over that array —
+no per-link re-evaluation, no bisection loop. The planner additionally
+shares one payload per resolved bin index (links whose budgets land in
+the same bin ship the same bytes) and can reuse the histograms across
+``plan`` calls within an iteration via an explicit ``plan_epoch``
+token.
+
+In steady state the histogram build itself disappears: for a plan with
+one distinct budget (uniform bandwidths) the planner guesses the edge
+by a ``searchsorted`` into the *previous* iteration's fold and
+verifies with a couple of exact-count secant probes on the current
+gradients (:meth:`GradientHistograms.fit_warm`), rebuilding the
+histograms only on a probe miss. Warm answers stay exactly feasible —
+probes are exact counts — and sit at most a few bins (``slack``, ≲0.1
+N) below the certified optimum. All planners also share one
+process-wide scratch pool so the hot buffers stay cache-warm when
+many simulated workers take turns planning.
+
+Exactness invariant (asserted by the property suite in
+``tests/properties/test_prop_transmission.py``): whenever the chosen N
+exceeds ``n_min``, the exact encoded payload at that N fits the budget.
 """
 
 from __future__ import annotations
 
-from typing import Mapping
+import math
+from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.cluster.messages import VARIABLE_HEADER_BYTES
 from repro.core.config import MaxNConfig
 from repro.core.maxn import select_payload
+from repro.core.selectors import GradientSelector
 from repro.obs import profile as _profile
 
-__all__ = ["fit_n_to_budget", "TransmissionPlanner"]
+__all__ = [
+    "GradientHistograms",
+    "fit_n_to_budget",
+    "fit_level_to_budget",
+    "fit_levels_to_budgets",
+    "TransmissionPlanner",
+]
 
 _BINS = 4096
 
 
-def _suffix_histograms(
-    grads: Mapping[str, np.ndarray]
-) -> list[np.ndarray | None]:
-    """Per variable: suffix counts of normalized-magnitude bins.
+def _build_n_at_edge() -> np.ndarray:
+    """``n_at_edge[i]``: the largest N whose threshold bin is ``i``.
 
-    ``suffix[i]`` = number of entries with ``|g|/max|g| >= i / _BINS``
-    (so ``suffix[0] == size`` and ``suffix[_BINS]`` counts only the
-    max-magnitude bin's upper edge, i.e. 0 by construction of the
-    padding). ``None`` marks an all-zero gradient (nothing to send).
+    In exact arithmetic ``N = 100·(1 − i/BINS)``; each entry is nudged
+    down by float ulps until ``int((1 − N/100)·BINS) >= i`` actually
+    holds, so a fit answer converted through this table can never land
+    one bin below the edge it was resolved at (which would overshoot
+    the budget).
     """
-    out: list[np.ndarray | None] = []
-    for g in grads.values():
-        mags = np.abs(g.reshape(-1))
-        mx = float(mags.max(initial=0.0))
-        if mx == 0.0:
-            out.append(None)
-            continue
-        # Direct quantize + bincount: same bins as np.histogram over
-        # (0, mx) but ~3x faster on large variables (this runs every
-        # training iteration). Normalize before scaling so subnormal
-        # maxima cannot overflow the scale factor.
-        bins = np.minimum(
-            ((mags / mx) * _BINS).astype(np.int64), _BINS - 1
-        )
-        hist = np.bincount(bins, minlength=_BINS)
-        suffix = np.zeros(_BINS + 1, dtype=np.int64)
-        suffix[:_BINS] = np.cumsum(hist[::-1])[::-1]
-        out.append(suffix)
-    return out
+    edges = 100.0 * (1.0 - np.arange(_BINS + 1) / _BINS)
+    for i in range(_BINS + 1):
+        n = float(edges[i])
+        while n > 0.0 and int((1.0 - n / 100.0) * _BINS) < i:
+            n = math.nextafter(n, 0.0)
+        edges[i] = n
+    return edges
 
 
-def _upper_bound_bytes(suffixes: list[np.ndarray | None], n: float) -> int:
-    """An upper bound on the Max-N payload size (never an underestimate).
+_N_AT_EDGE = _build_n_at_edge()
 
-    The threshold ``(1 − N/100)·max`` is rounded *down* to its bin edge,
-    so the per-variable count can only overcount — a feasibility verdict
-    from this bound is always exact-feasible.
+
+class _Scratch:
+    """Reusable per-planner buffers for the per-iteration gradient view.
+
+    The view's working arrays (concatenated values, magnitudes, the
+    selection mask, the quantization scratch) are each a few hundred KB
+    — past glibc's mmap threshold, so allocating them fresh every
+    iteration means page-faulting the memory in every time. One planner
+    plans every iteration with the same model, so the buffers are
+    allocated once and reused; they are resized only when the model (or
+    gradient dtype) changes.
     """
-    thr = 1.0 - n / 100.0
-    total = 0
-    for suffix in suffixes:
-        if suffix is None:
-            continue
+
+    __slots__ = (
+        "_size",
+        "_dtype",
+        "generation",
+        "mags",
+        "scale",
+        "quant",
+        "mask",
+        "names",
+        "sizes",
+        "offsets",
+        "bounds",
+    )
+
+    def __init__(self) -> None:
+        self._size = -1
+        self._dtype: np.dtype | None = None
+        # bumped on every view built from this pool: a histogram view
+        # records the generation it was built at, so a cached view can
+        # tell when another planner has since reused the buffers
+        self.generation = 0
+        # cached variable layout (names + sizes -> offsets/bounds): one
+        # model per planner, so the layout is identical every iteration
+        self.names: list[str] | None = None
+        self.sizes: list[int] | None = None
+
+    def ensure(self, size: int, dtype: np.dtype) -> "_Scratch":
+        self.generation += 1
+        if size > self._size or dtype != self._dtype:
+            self._size = size
+            self._dtype = dtype
+            self.mags = np.empty(size, dtype=dtype)
+            self.scale = np.empty(size, dtype=dtype)
+            # intp so np.bincount ingests it without an internal cast
+            self.quant = np.empty(size, dtype=np.intp)
+            self.mask = np.empty(size, dtype=bool)
+        return self
+
+
+# Process-wide buffer pool. Every worker in a simulation plans over the
+# same model, and the planners take turns (the simulator is
+# single-threaded), so sharing one pool keeps the working arrays
+# cache-warm across *all* planners instead of letting six cold copies
+# chase each other out of the cache. The generation counter keeps
+# epoch-cached views honest when planners interleave.
+_SHARED_SCRATCH = _Scratch()
+
+
+class GradientHistograms:
+    """Batched budget resolver for one iteration's gradient map.
+
+    Construction builds a cheap *view*: every variable's magnitudes
+    packed segment-by-segment into one shared buffer (the values are
+    never copied — payload gathers index the caller's arrays) and
+    per-variable maxima via a single ``maximum.reduceat``. Whole-map
+    operations then run as one NumPy call (or one short call per
+    segment) instead of a full per-variable pipeline, which matters
+    because dispatch overhead (not arithmetic) dominates on the
+    many-small-variables gradient maps real models produce. The
+    histogram itself — one shared
+    bytes-at-every-bin-edge array — is folded lazily on the first fit:
+    ``bytes_at_edge[i]`` is an upper bound on the Max-N payload size
+    for any threshold inside bin ``i`` (the threshold is rounded *down*
+    to its bin edge, so counts can only overcount and a feasibility
+    verdict is always exact-feasible).
+
+    Two extra exact primitives ride on the view: ``exact_bytes_at``
+    (one vectorized count, no histogram) powers the planner's
+    warm-start verification, and ``select_payload`` reuses the cached
+    magnitudes.
+
+    The working arrays are each a few hundred KB — past glibc's mmap
+    threshold — so a planner that builds one view per iteration passes
+    a :class:`_Scratch` pool and the concatenation, magnitude, mask and
+    quantization buffers are reused across iterations instead of being
+    page-faulted in fresh every time.
+
+    Gradient maps with mixed dtypes (or non-float gradients) cannot be
+    concatenated without changing comparison semantics; they fall back
+    to an equivalent per-variable path. All-zero variables carry no
+    information and contribute nothing (matching
+    :func:`repro.core.maxn.select_max_n`).
+    """
+
+    __slots__ = (
+        "_names",
+        "_flats",
+        "_mags",
+        "_offsets",
+        "_bounds",
+        "_maxes64",
+        "_zero_entries",
+        "_nnz",
+        "_legacy_vars",
+        "_rev_bytes",
+        "_exact_cache",
+        "_mask",
+        "_mask_n",
+        "_scale",
+        "_quant",
+        "_gen",
+    )
+
+    def __init__(
+        self, grads: Mapping[str, np.ndarray], *, scratch: "_Scratch | None" = None
+    ):
+        with _profile.scope("maxn/grad_view"):
+            self._init_view(grads, scratch)
+
+    def buffers_valid(self, scratch: "_Scratch") -> bool:
+        """Whether this view's buffers are untouched since it was built.
+
+        Views that own their arrays (no scratch, legacy, empty) are
+        always valid; a view built from ``scratch`` is invalidated by
+        any later view built from the same pool.
+        """
+        return self._gen is None or self._gen == scratch.generation
+
+    def _init_view(
+        self, grads: Mapping[str, np.ndarray], scratch: "_Scratch | None"
+    ) -> None:
+        self._rev_bytes: np.ndarray | None = None
+        self._exact_cache: dict[float, int] = {}
+        self._legacy_vars: dict | None = None
+        self._mask: np.ndarray | None = None
+        self._mask_n: float | None = None
+        self._scale: np.ndarray | None = None
+        self._quant: np.ndarray | None = None
+        self._gen: int | None = None
+        names: list[str] = []
+        flats: list[np.ndarray] = []
+        for name, g in grads.items():
+            flat = g.reshape(-1)
+            if flat.size:
+                names.append(name)
+                flats.append(flat)
+        if not flats:
+            self._names = []
+            self._flats = self._mags = self._offsets = self._bounds = None
+            self._maxes64 = None
+            self._zero_entries = self._nnz = 0
+            self._rev_bytes = np.zeros(_BINS + 1, dtype=np.int64)
+            return
+        if len({f.dtype for f in flats}) > 1 or not np.issubdtype(
+            flats[0].dtype, np.floating
+        ):
+            self._init_legacy(dict(zip(names, flats)))
+            return
+        self._names = names
+        self._flats = flats  # per-variable views of the caller's arrays
+        sizes = [f.size for f in flats]
+        if scratch is not None and scratch.names == names and scratch.sizes == sizes:
+            # same model layout as last iteration: reuse the offsets
+            offsets = scratch.offsets
+            bounds = scratch.bounds
+        else:
+            offsets = np.empty(len(flats) + 1, dtype=np.intp)
+            offsets[0] = 0
+            np.cumsum(sizes, out=offsets[1:])
+            bounds = [
+                (int(offsets[i]), int(offsets[i + 1])) for i in range(len(flats))
+            ]
+            if scratch is not None:
+                scratch.names = list(names)
+                scratch.sizes = sizes
+                scratch.offsets = offsets
+                scratch.bounds = bounds
+        self._offsets = offsets
+        self._bounds = bounds
+        total = bounds[-1][1]
+        if scratch is not None:
+            scratch.ensure(total, flats[0].dtype)
+            self._gen = scratch.generation
+            self._mags = scratch.mags[:total]
+            self._mask = scratch.mask[:total]
+            self._mask_n = None  # buffer contents belong to a prior view
+            self._scale = scratch.scale[:total]
+            self._quant = scratch.quant[:total]
+        else:
+            self._mags = np.empty(total, dtype=flats[0].dtype)
+        # magnitudes of all variables, packed into one buffer segment
+        # by segment — never a concatenated copy of the values
+        # themselves (payload gathers index the caller's arrays).
+        mags = self._mags
+        for i, flat in enumerate(flats):
+            a, b = bounds[i]
+            np.abs(flat, out=mags[a:b])
+        maxes = np.maximum.reduceat(mags, offsets[:-1])
+        # float64 maxima: per-variable thresholds are computed in
+        # float64 and cast back to the gradient dtype, matching
+        # select_max_n's python-float threshold exactly.
+        self._maxes64 = maxes.astype(np.float64)
+        nonzero = self._maxes64 > 0.0
+        self._nnz = int(np.count_nonzero(nonzero))
+        if self._nnz == len(flats):
+            self._zero_entries = 0
+        else:
+            self._zero_entries = int(
+                sum(s for s, nz in zip(sizes, nonzero) if not nz)
+            )
+
+    def _init_legacy(self, flats: Mapping[str, np.ndarray]) -> None:
+        """Per-variable fallback (mixed or non-float dtypes)."""
+        self._legacy_vars = {}
+        for name, flat in flats.items():
+            mags = np.abs(flat)
+            self._legacy_vars[name] = (flat, mags, float(mags.max(initial=0.0)))
+
+    @property
+    def folded(self) -> np.ndarray | None:
+        """The folded bytes array, if a fit has forced the fold yet.
+
+        Stored in **ascending** order — index ``k`` holds the bytes at
+        edge ``_BINS - k`` — which is exactly the layout
+        ``searchsorted`` wants, so neither the fits here nor the
+        planner's warm-start guess ever copy a reversed view.
+        """
+        return self._rev_bytes
+
+    @property
+    def supports_exact_counts(self) -> bool:
+        """Whether the vectorized exact-count primitives are available."""
+        return self._legacy_vars is None and self._flats is not None
+
+    def _mask_at(self, n_percent: float) -> np.ndarray:
+        """Boolean selection mask at ``n_percent`` (view mode).
+
+        One comparison per variable *segment* of the shared mask buffer
+        — no materialized per-entry threshold array. The buffer is
+        tagged with the level it holds, so the planner's usual sequence
+        (warm-probe a level, then select the payload at that same
+        level) builds the mask once.
+        """
+        if self._mask is not None and self._mask_n == n_percent:
+            return self._mask
+        if self._mask is None:
+            self._mask = np.empty(self._mags.size, dtype=bool)
+        mask = self._mask
+        frac = 1.0 - n_percent / 100.0
+        for i, (a, b) in enumerate(self._bounds):
+            seg = mask[a:b]
+            mx = float(self._maxes64[i])
+            if mx == 0.0:
+                # all-zero variables select nothing at any level
+                seg[:] = False
+            else:
+                # python-float threshold: identical promotion to
+                # select_max_n's `mags >= (1 - n/100) * max` compare
+                np.greater_equal(self._mags[a:b], frac * mx, out=seg)
+        self._mask_n = n_percent
+        return mask
+
+    def exact_bytes_at(self, n_percent: float) -> int:
+        """The **exact** encoded payload size at ``n_percent``.
+
+        One vectorized count over the cached magnitudes — no histogram.
+        Every nonzero variable keeps at least its max entry, so the
+        header term is a constant ``24 * nnz``.
+        """
+        cached = self._exact_cache.get(n_percent)
+        if cached is not None:
+            return cached
+        if self._legacy_vars is not None:
+            total = 0
+            for flat, mags, mx in self._legacy_vars.values():
+                if mx == 0.0:
+                    continue
+                cnt = int(np.count_nonzero(mags >= (1.0 - n_percent / 100.0) * mx))
+                if cnt:
+                    total += VARIABLE_HEADER_BYTES + 8 * cnt
+        elif self._flats is None:
+            total = 0
+        else:
+            cnt = int(np.count_nonzero(self._mask_at(n_percent)))
+            total = 8 * cnt + VARIABLE_HEADER_BYTES * self._nnz
+        self._exact_cache[n_percent] = total
+        return total
+
+    def _ensure_hist(self) -> np.ndarray:
+        if self._rev_bytes is not None:
+            return self._rev_bytes
+        with _profile.scope("maxn/histograms"):
+            if self._legacy_vars is not None:
+                counts = np.zeros(_BINS, dtype=np.int64)
+                nnz = 0
+                for flat, mags, mx in self._legacy_vars.values():
+                    if mx == 0.0:
+                        continue
+                    nnz += 1
+                    bins = ((mags / mx) * _BINS).astype(np.int32)
+                    hist = np.bincount(bins, minlength=_BINS + 1)
+                    hist[_BINS - 1] += hist[_BINS]
+                    counts += hist[:_BINS]
+            else:
+                nnz = self._nnz
+                # Quantize every entry into the shared scale buffer:
+                # per-variable scalar division (bit-identical to the
+                # historical (mags / mx) * _BINS). Normalizing before
+                # scaling keeps subnormal maxima from overflowing the
+                # scale factor; the integer cast and the overflow-bin
+                # fold (entries at exactly the max land in bin _BINS)
+                # avoid a full-array clip pass.
+                scale = self._scale
+                if scale is None:
+                    scale = np.empty(self._mags.size, dtype=self._mags.dtype)
+                for i, (a, b) in enumerate(self._bounds):
+                    mx = float(self._maxes64[i])
+                    if mx == 0.0:
+                        # zero variables land in bin 0, subtracted
+                        # out again below
+                        scale[a:b] = 0.0
+                    else:
+                        np.divide(self._mags[a:b], mx, out=scale[a:b])
+                quant = self._quant
+                if quant is None:
+                    quant = np.empty(scale.size, dtype=np.intp)
+                # one fused pass: the float multiply (exact — _BINS is
+                # a power of two) C-cast-truncates straight into the
+                # intp buffer bincount ingests copy-free; values are
+                # identical to the historical scale-then-astype chain
+                np.multiply(scale, _BINS, out=quant, casting="unsafe")
+                hist = np.bincount(quant, minlength=_BINS + 1)
+                hist[_BINS - 1] += hist[_BINS]
+                hist[0] -= self._zero_entries
+                counts = hist[:_BINS]
+            # rev[k] = bytes at edge _BINS - k: 8 bytes per entry in a
+            # bin >= that edge, plus — at every edge below _BINS — one
+            # header per variable with a nonzero max (each keeps at
+            # least its max entry in any band, so the header term is a
+            # constant and the whole map folds into one array). Built
+            # ascending so every fit is one searchsorted with no
+            # reversed-view copy.
+            rev = np.empty(_BINS + 1, dtype=np.int64)
+            rev[0] = 0
+            np.cumsum(counts[::-1], out=rev[1:])
+            np.multiply(rev, 8, out=rev)
+            rev[1:] += VARIABLE_HEADER_BYTES * nnz
+            self._rev_bytes = rev
+        return self._rev_bytes
+
+    def bytes_at(self, n_percent: float) -> int:
+        """Upper bound on the Max-N payload size (never an underestimate)."""
+        thr = 1.0 - n_percent / 100.0
         idx = min(_BINS, max(0, int(thr * _BINS)))
-        cnt = int(suffix[idx])
-        if cnt:
-            total += VARIABLE_HEADER_BYTES + 8 * cnt
-    return total
+        return int(self._ensure_hist()[_BINS - idx])
+
+    def fit_many(
+        self,
+        budgets: Sequence[float] | np.ndarray,
+        *,
+        n_min: float = 0.85,
+        n_max: float = 100.0,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Largest feasible N per budget, for **all** budgets at once.
+
+        Returns ``(chosen_n, edge)`` arrays: ``edge`` is the resolved
+        bin index — equal edges mean equal N and therefore an identical
+        payload (the planner's payload-cache key). Budgets that cannot
+        fit even the ``n_min`` selection get ``n_min`` (the quality
+        floor wins over the speed goal, as in the paper).
+        """
+        if not 0 < n_min <= n_max <= 100.0:
+            raise ValueError("need 0 < n_min <= n_max <= 100")
+        budgets = np.asarray(budgets, dtype=np.float64)
+        # the fold is stored ascending, so one searchsorted yields, per
+        # budget, the smallest edge (= largest N) whose upper-bound
+        # payload still fits.
+        rev = self._ensure_hist()
+        fits = np.searchsorted(rev, budgets, side="right") - 1
+        i_star = _BINS - np.maximum(fits, 0)
+        idx_cap = int((1.0 - n_max / 100.0) * _BINS)  # edge of the N cap
+        idx_floor = int((1.0 - n_min / 100.0) * _BINS)  # edge of the floor
+        edge = np.clip(i_star, idx_cap, idx_floor + 1)
+        chosen = np.where(
+            edge <= idx_cap,
+            n_max,
+            np.where(edge > idx_floor, n_min, _N_AT_EDGE[np.minimum(edge, _BINS)]),
+        )
+        return chosen, edge
+
+    def fit_edge(
+        self, budget_bytes: float, *, n_min: float = 0.85, n_max: float = 100.0
+    ) -> tuple[float, int]:
+        """Scalar twin of :meth:`fit_many` for a single budget.
+
+        Same searchsorted-and-clamp logic without the array round
+        trips; returns the same ``(chosen_n, edge)`` the batched path
+        would. The planner uses it on uniform-bandwidth plans, where
+        every destination shares one budget.
+        """
+        if not 0 < n_min <= n_max <= 100.0:
+            raise ValueError("need 0 < n_min <= n_max <= 100")
+        rev = self._ensure_hist()
+        fits = int(np.searchsorted(rev, budget_bytes, side="right")) - 1
+        i_star = _BINS - max(fits, 0)
+        idx_cap = int((1.0 - n_max / 100.0) * _BINS)
+        idx_floor = int((1.0 - n_min / 100.0) * _BINS)
+        edge = min(max(i_star, idx_cap), idx_floor + 1)
+        if edge <= idx_cap:
+            return n_max, edge
+        if edge > idx_floor:
+            return n_min, edge
+        return float(_N_AT_EDGE[edge]), edge
+
+    def fit(
+        self, budget_bytes: float, *, n_min: float = 0.85, n_max: float = 100.0
+    ) -> float:
+        """Single-budget convenience wrapper over :meth:`fit_edge`."""
+        return self.fit_edge(budget_bytes, n_min=n_min, n_max=n_max)[0]
+
+    def fit_warm(
+        self,
+        budget_bytes: float,
+        guess_edge: int,
+        *,
+        n_min: float = 0.85,
+        n_max: float = 100.0,
+        max_probes: int = 4,
+        slope_hint: float | None = None,
+        slack: int = 0,
+    ) -> tuple[float, int] | None:
+        """Try to resolve one budget from a previous iteration's fold.
+
+        Each probe is one **exact** vectorized count (no histogram
+        build); every returned edge is therefore exactly feasible.
+        Without ``slope_hint`` the search walks the guess one edge at a
+        time — right for guesses already at the answer. Minibatch
+        gradient distributions, however, shift the optimal edge by tens
+        of bins per iteration, so the planner passes ``slope_hint``
+        (bytes per bin near the guess, read off the previous fold):
+        each miss then takes a secant step sized by the exact byte
+        error, which lands within a few bins of the true boundary.
+
+        The search keeps a bracket — the best feasible edge found and
+        the largest edge known infeasible — and certifies the answer
+        optimal when the bracket closes. ``slack`` loosens that:
+        a feasible edge at most ``slack`` bins above the certified
+        bracket is accepted as-is (``slack`` bins = ``100·slack/4096``
+        of N below the true optimum, at worst). Returns ``None`` after
+        ``max_probes`` counts without an acceptable edge — the caller
+        falls back to the batched :meth:`fit_many`. Because probes use
+        exact counts while the histogram overcounts, a warm answer may
+        sit above the batched one even at ``slack=0``; both are within
+        one bin of the true optimum and exactly feasible.
+        """
+        if not 0 < n_min <= n_max <= 100.0:
+            raise ValueError("need 0 < n_min <= n_max <= 100")
+        if not self.supports_exact_counts:
+            return None
+        idx_cap = int((1.0 - n_max / 100.0) * _BINS)
+        idx_floor = int((1.0 - n_min / 100.0) * _BINS)
+        hi = idx_floor + 1
+
+        def n_at(edge: int) -> float:
+            if edge <= idx_cap:
+                return n_max
+            if edge > idx_floor:
+                return n_min
+            return float(_N_AT_EDGE[edge])
+
+        edge = min(max(int(guess_edge), idx_cap), hi)
+        best: tuple[float, int] | None = None  # smallest feasible so far
+        inf_below = idx_cap - 1  # largest edge known infeasible
+        for _ in range(max_probes):
+            bytes_at = self.exact_bytes_at(n_at(edge))
+            if bytes_at <= budget_bytes:
+                if best is None or edge < best[1]:
+                    best = (n_at(edge), edge)
+                if edge - (inf_below + 1) <= slack:
+                    # bracket closed (or within the accepted slack):
+                    # the winning probe ran last, so its selection
+                    # mask is the one left cached for select_payload
+                    return best
+                if slope_hint and budget_bytes - bytes_at < slope_hint * (slack + 1):
+                    # the unused budget is worth at most ~slack more
+                    # bins by the slope model: accept without paying
+                    # probes to close the bracket exactly
+                    return best
+                if slope_hint:
+                    step = int((budget_bytes - bytes_at) / slope_hint)
+                    nxt = edge - max(step, 1)
+                else:
+                    nxt = edge - 1
+                nxt = max(nxt, inf_below + 1)
+                if nxt >= edge:
+                    return best
+                edge = nxt
+            else:
+                if edge >= hi:
+                    # even the floor selection does not fit: the
+                    # quality floor wins, same as fit_many's clamp
+                    return n_min, hi
+                inf_below = max(inf_below, edge)
+                if best is not None and best[1] - (inf_below + 1) <= slack:
+                    return best
+                if slope_hint:
+                    step = int((bytes_at - budget_bytes) / slope_hint)
+                    nxt = edge + max(step, 1)
+                else:
+                    nxt = edge + 1
+                nxt = min(nxt, hi)
+                if best is not None:
+                    nxt = min(nxt, best[1] - 1)
+                if nxt <= edge:
+                    return best
+                edge = nxt
+        return None
+
+    def select_payload(
+        self, n_percent: float
+    ) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+        """Max-N payload at ``n_percent``, reusing the cached magnitudes.
+
+        Identical output to :func:`repro.core.maxn.select_payload`, but
+        skips the per-variable ``abs``/``max`` passes already paid at
+        construction and runs one comparison over the concatenated map.
+        """
+        if not 0.0 < n_percent <= 100.0:
+            raise ValueError(f"N must be in (0, 100], got {n_percent}")
+        payload: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        if self._legacy_vars is not None:
+            for name, (flat, mags, mx) in self._legacy_vars.items():
+                if mx == 0.0:
+                    continue
+                idx = np.nonzero(mags >= (1.0 - n_percent / 100.0) * mx)[0]
+                if idx.size:
+                    payload[name] = (idx.astype(np.int64, copy=False), flat[idx])
+            return payload
+        if self._flats is None:
+            return payload
+        mask = self._mask_at(n_percent)
+        bounds = self._bounds
+        for i, name in enumerate(self._names):
+            a, b = bounds[i]
+            idx = np.nonzero(mask[a:b])[0]
+            if idx.size:
+                payload[name] = (idx, self._flats[i][idx])
+        return payload
 
 
 def fit_n_to_budget(
@@ -98,23 +651,50 @@ def fit_n_to_budget(
     If even the ``n_min`` selection exceeds the budget, ``n_min`` is
     returned anyway — the quality floor wins over the speed goal, as in
     the paper ("the minimum N for max N algorithm [is] 0.85").
+
+    ``precision`` is kept for backward compatibility: the batched
+    resolver answers exactly at histogram-bin granularity (``100/4096``
+    of N), which is also how far this answer can sit from the one the
+    historical bisection (``_fit_n_bisect``) converges to.
     """
     if not 0 < n_min <= n_max <= 100.0:
         raise ValueError("need 0 < n_min <= n_max <= 100")
+    del precision  # bin granularity subsumes it; see docstring
     with _profile.scope("maxn/fit_n_to_budget"):
-        suffixes = _suffix_histograms(grads)
-        if _upper_bound_bytes(suffixes, n_max) <= budget_bytes:
-            return n_max
-        if _upper_bound_bytes(suffixes, n_min) > budget_bytes:
-            return n_min
-        lo, hi = n_min, n_max  # feasible at lo, infeasible at hi
-        while hi - lo > precision:
-            mid = 0.5 * (lo + hi)
-            if _upper_bound_bytes(suffixes, mid) <= budget_bytes:
-                lo = mid
-            else:
-                hi = mid
-        return lo
+        return GradientHistograms(grads).fit(budget_bytes, n_min=n_min, n_max=n_max)
+
+
+def _fit_n_bisect(
+    grads: Mapping[str, np.ndarray],
+    budget_bytes: float,
+    *,
+    n_min: float = 0.85,
+    n_max: float = 100.0,
+    precision: float = 0.01,
+) -> float:
+    """The pre-batching per-link bisection over the binned upper bound.
+
+    Kept as the reference implementation: the property suite asserts
+    :func:`fit_n_to_budget` agrees with it within one histogram bin
+    plus ``precision``, and the micro-benchmarks measure the batched
+    planner's speedup against a per-link loop of these (which, like the
+    historical code, rebuilds the histograms on every call).
+    """
+    if not 0 < n_min <= n_max <= 100.0:
+        raise ValueError("need 0 < n_min <= n_max <= 100")
+    hist = GradientHistograms(grads)
+    if hist.bytes_at(n_max) <= budget_bytes:
+        return n_max
+    if hist.bytes_at(n_min) > budget_bytes:
+        return n_min
+    lo, hi = n_min, n_max  # feasible at lo, infeasible at hi
+    while hi - lo > precision:
+        mid = 0.5 * (lo + hi)
+        if hist.bytes_at(mid) <= budget_bytes:
+            lo = mid
+        else:
+            hi = mid
+    return lo
 
 
 def fit_level_to_budget(
@@ -129,32 +709,81 @@ def fit_level_to_budget(
     """Generic budget fit for any :class:`GradientSelector`.
 
     Bisection over the quality level using the selector's exact
-    ``count_at``; the Max-N fast path (:func:`fit_n_to_budget`) should
-    be preferred when the selector is Max N itself.
+    ``count_at``. Selectors that vectorize ``count_at_levels`` should
+    go through :func:`fit_levels_to_budgets` instead (the planner picks
+    automatically); the Max-N fast path (:func:`fit_n_to_budget`)
+    should be preferred when the selector is Max N itself.
     """
     if not 0 < level_min <= level_max <= 100.0:
         raise ValueError("need 0 < level_min <= level_max <= 100")
 
-    def bytes_at(level: float) -> int:
-        total = 0
-        for g in grads.values():
-            cnt = selector.count_at(g, level)
-            if cnt:
-                total += VARIABLE_HEADER_BYTES + 8 * cnt
-        return total
+    with _profile.scope("maxn/fit_level_to_budget"):
 
-    if bytes_at(level_max) <= budget_bytes:
-        return level_max
-    if bytes_at(level_min) > budget_bytes:
-        return level_min
-    lo, hi = level_min, level_max
-    while hi - lo > precision:
-        mid = 0.5 * (lo + hi)
-        if bytes_at(mid) <= budget_bytes:
-            lo = mid
-        else:
-            hi = mid
-    return lo
+        def bytes_at(level: float) -> int:
+            total = 0
+            for g in grads.values():
+                cnt = selector.count_at(g, level)
+                if cnt:
+                    total += VARIABLE_HEADER_BYTES + 8 * cnt
+            return total
+
+        if bytes_at(level_max) <= budget_bytes:
+            return level_max
+        if bytes_at(level_min) > budget_bytes:
+            return level_min
+        lo, hi = level_min, level_max
+        while hi - lo > precision:
+            mid = 0.5 * (lo + hi)
+            if bytes_at(mid) <= budget_bytes:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+
+# Grid resolution of the batched generic fit — mirrors the Max-N
+# histogram so both paths answer at the same level granularity.
+_LEVEL_GRID_POINTS = _BINS
+
+
+def fit_levels_to_budgets(
+    selector,
+    grads: Mapping[str, np.ndarray],
+    budgets: Sequence[float] | np.ndarray,
+    *,
+    level_min: float = 0.85,
+    level_max: float = 100.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched generic fit: all budgets answered from one level grid.
+
+    The selector's vectorized ``count_at_levels`` prices every grid
+    level in one pass per variable; each budget then resolves by one
+    ``searchsorted``. Because the counts are the selector's *exact*
+    counts (not an upper bound), the chosen level's payload is exactly
+    feasible whenever it exceeds ``level_min``. Answers agree with
+    :func:`fit_level_to_budget` within one grid step,
+    ``(level_max − level_min)/4096``.
+
+    Returns ``(levels, grid_index)``; equal grid indices mean equal
+    levels and therefore shareable payloads. Requires a selector whose
+    ``count_at_levels`` is genuinely vectorized and monotone
+    non-decreasing in level (the :class:`GradientSelector` contract) —
+    the planner falls back to per-link bisection otherwise.
+    """
+    if not 0 < level_min <= level_max <= 100.0:
+        raise ValueError("need 0 < level_min <= level_max <= 100")
+    with _profile.scope("maxn/fit_levels_to_budgets"):
+        budgets = np.asarray(budgets, dtype=np.float64)
+        steps = np.arange(_LEVEL_GRID_POINTS + 1) / _LEVEL_GRID_POINTS
+        grid = level_min + (level_max - level_min) * steps
+        grid[-1] = level_max  # exact endpoint despite float rounding
+        bytes_at = np.zeros(grid.size, dtype=np.int64)
+        for g in grads.values():
+            counts = np.asarray(selector.count_at_levels(g, grid), dtype=np.int64)
+            bytes_at += 8 * counts + VARIABLE_HEADER_BYTES * (counts > 0)
+        fits = np.searchsorted(bytes_at, budgets, side="right") - 1
+        idx = np.maximum(fits, 0)  # fits < 0: even level_min is infeasible
+        return grid[idx], idx
 
 
 class TransmissionPlanner:
@@ -162,9 +791,23 @@ class TransmissionPlanner:
 
     ``plan(grads, bandwidths_mbps, iter_time_s)`` returns, per
     destination, the chosen N and the sparse payload. A fixed-N config
-    (Fig. 7 / Fig. 16 studies) bypasses the budget fit entirely. When
-    the config names a non-default selector, the generic fit over that
-    selector replaces the Max-N histogram fast path.
+    (Fig. 7 / Fig. 16 studies) bypasses the budget fit *and* the
+    payload cache entirely. When the config names a non-default
+    selector, the batched generic fit over that selector replaces the
+    Max-N histogram fast path (or per-link bisection, for selectors
+    without a vectorized ``count_at_levels``).
+
+    Payload caching: destinations whose budgets resolve to the same
+    histogram bin share one payload object — strictly more reuse than
+    caching by bandwidth value, since distinct bandwidths frequently
+    land in the same bin.
+
+    Histogram reuse: pass ``plan_epoch`` (any equality-comparable
+    token that changes every iteration, e.g. ``(worker_id, iteration)``)
+    to reuse the histograms across ``plan`` calls within one iteration.
+    Reuse requires both the token *and* the gradient-map object to
+    match — a matching token with different gradients raises, so call
+    sites cannot accidentally price stale histograms.
     """
 
     def __init__(self, config: MaxNConfig, *, selector=None):
@@ -176,6 +819,23 @@ class TransmissionPlanner:
                 config.selector, rng=np.random.default_rng(0)
             )
         self.selector = selector  # None = the Max-N fast path
+        self._hist: GradientHistograms | None = None
+        self._hist_epoch: object = None
+        self._hist_grads: Mapping[str, np.ndarray] | None = None
+        # most recent bytes-at-edge fold: the warm-start *guess* source
+        # for later iterations (guesses need no freshness — every warm
+        # answer is verified by exact counts on the current gradients).
+        # _warm_miss counts consecutive uniform plans without a warm
+        # hit; past the give-up streak the planner stops paying for
+        # probes that keep failing (gradient distributions that shift
+        # too fast per iteration) and only re-probes occasionally.
+        self._stale_fold: np.ndarray | None = None
+        self._warm_miss = 0
+        # the process-wide buffer pool: planners across all simulated
+        # workers take turns over the same working arrays, keeping them
+        # cache-warm (a per-planner pool would go cold between any one
+        # worker's iterations while the other workers train)
+        self._scratch = _SHARED_SCRATCH
 
     def budget_bytes(self, bandwidth_mbps: float, iter_time_s: float) -> float:
         """``BW_net_j / Iter_com_i`` expressed in bytes per iteration.
@@ -193,50 +853,170 @@ class TransmissionPlanner:
         grads: Mapping[str, np.ndarray],
         bandwidths_mbps: Mapping[int, float],
         iter_time_s: float,
+        *,
+        plan_epoch: object = None,
     ) -> dict[int, tuple[float, dict[str, tuple[np.ndarray, np.ndarray]]]]:
         """Per-destination ``(chosen_n, sparse_payload)``.
 
-        Destinations whose links share a bandwidth value reuse one
-        selection (payloads are identical for identical N).
+        Destinations whose budgets resolve to the same histogram bin
+        (identical bandwidths in particular) reuse one payload object.
         """
         with _profile.scope("maxn/plan"):
-            return self._plan(grads, bandwidths_mbps, iter_time_s)
+            return self._plan(grads, bandwidths_mbps, iter_time_s, plan_epoch)
+
+    def _histograms(
+        self, grads: Mapping[str, np.ndarray], plan_epoch: object
+    ) -> GradientHistograms:
+        """Build (or reuse, same epoch + same gradient map) histograms."""
+        if (
+            plan_epoch is not None
+            and self._hist is not None
+            and plan_epoch == self._hist_epoch
+        ):
+            if grads is not self._hist_grads:
+                raise ValueError(
+                    f"plan_epoch {plan_epoch!r} was reused with a different "
+                    "gradient map; pass a fresh token (e.g. the iteration "
+                    "number) whenever the gradients change"
+                )
+            # another planner may have recycled the shared buffers in
+            # the meantime; if so, rebuild (reuse is an optimization,
+            # never a correctness requirement)
+            if self._hist.buffers_valid(self._scratch):
+                return self._hist
+        hist = GradientHistograms(grads, scratch=self._scratch)
+        if plan_epoch is not None:
+            self._hist = hist
+            self._hist_epoch = plan_epoch
+            self._hist_grads = grads
+        return hist
 
     def _plan(
         self,
         grads: Mapping[str, np.ndarray],
         bandwidths_mbps: Mapping[int, float],
         iter_time_s: float,
+        plan_epoch: object,
     ) -> dict[int, tuple[float, dict[str, tuple[np.ndarray, np.ndarray]]]]:
         plans: dict[int, tuple[float, dict]] = {}
-        cache: dict[float, tuple[float, dict]] = {}
-        for dst, bw in bandwidths_mbps.items():
-            key = round(bw, 6)
-            if self.config.fixed_n is None and key in cache:
-                plans[dst] = cache[key]
-                continue
-            if self.config.fixed_n is not None:
-                n = self.config.fixed_n
-            elif self.selector is not None:
-                n = fit_level_to_budget(
-                    self.selector,
-                    grads,
-                    self.budget_bytes(bw, iter_time_s),
-                    level_min=self.config.n_min,
-                    level_max=self.config.n_max,
-                )
-            else:
-                n = fit_n_to_budget(
-                    grads,
-                    self.budget_bytes(bw, iter_time_s),
-                    n_min=self.config.n_min,
-                    n_max=self.config.n_max,
-                )
-            payload = self._select(grads, n)
-            plans[dst] = (n, payload)
-            if self.config.fixed_n is None:
-                cache[key] = plans[dst]
+        cfg = self.config
+        if cfg.fixed_n is not None:
+            # Fixed-N studies bypass the fit and the cache: no budgets
+            # are computed (zero-bandwidth links are fine here) and
+            # every destination gets its own payload object.
+            for dst in bandwidths_mbps:
+                plans[dst] = (cfg.fixed_n, self._select(grads, cfg.fixed_n))
+            return plans
+
+        dsts = list(bandwidths_mbps)
+        budgets = [
+            self.budget_bytes(bandwidths_mbps[dst], iter_time_s) for dst in dsts
+        ]
+
+        if self.selector is None:
+            hist = self._histograms(grads, plan_epoch)
+            fits = self._fit_budgets(hist, budgets)
+            shared: dict[int, dict] = {}
+            for dst, (n, edge) in zip(dsts, fits):
+                payload = shared.get(edge)
+                if payload is None:
+                    with _profile.scope("maxn/select_payload"):
+                        payload = hist.select_payload(n)
+                    shared[edge] = payload
+                plans[dst] = (n, payload)
+            return plans
+
+        if (
+            type(self.selector).count_at_levels
+            is GradientSelector.count_at_levels
+        ):
+            # Documented fallback: this selector has no vectorized count
+            # path, so each distinct budget is fit by bisection (and the
+            # payload shared across links with equal budgets).
+            cache: dict[float, tuple[float, dict]] = {}
+            for dst, budget in zip(dsts, budgets):
+                hit = cache.get(budget)
+                if hit is None:
+                    level = fit_level_to_budget(
+                        self.selector,
+                        grads,
+                        budget,
+                        level_min=cfg.n_min,
+                        level_max=cfg.n_max,
+                    )
+                    hit = cache[budget] = (level, self._select(grads, level))
+                plans[dst] = hit
+            return plans
+
+        levels, indices = fit_levels_to_budgets(
+            self.selector, grads, budgets, level_min=cfg.n_min, level_max=cfg.n_max
+        )
+        shared = {}
+        for dst, level, idx in zip(dsts, levels, indices):
+            key = int(idx)
+            payload = shared.get(key)
+            if payload is None:
+                with _profile.scope("maxn/select_payload"):
+                    payload = self._select(grads, float(level))
+                shared[key] = payload
+            plans[dst] = (float(level), payload)
         return plans
+
+    def _fit_budgets(
+        self, hist: GradientHistograms, budgets: list[float]
+    ) -> list[tuple[float, int]]:
+        """``(chosen_n, edge)`` per budget, warm-starting when possible.
+
+        A plan with a single distinct budget (uniform bandwidths — the
+        common homogeneous-cluster case) guesses the edge from the most
+        recent fold by one ``searchsorted`` — gradient *distributions*
+        drift slowly across iterations even when the budget itself
+        jumps around (measured iteration times jitter) — and verifies
+        with a couple of exact counts on the current gradients. Only on
+        a verification miss (or with heterogeneous budgets) does the
+        batched histogram fit run, which also refreshes the guess
+        source.
+        """
+        cfg = self.config
+        uniform = len(set(budgets)) == 1
+        if uniform and self._stale_fold is not None:
+            if self._warm_miss < 4 or self._warm_miss % 64 == 0:
+                with _profile.scope("maxn/fit_warm"):
+                    stale = self._stale_fold
+                    fit = (
+                        int(np.searchsorted(stale, budgets[0], side="right")) - 1
+                    )
+                    k = max(fit, 0)
+                    guess = _BINS - k
+                    # local byte-cost of one bin near the guess, read
+                    # off the stale fold: sizes the secant steps and
+                    # the early-accept margin inside fit_warm
+                    k1 = max(k - 64, 0)
+                    k2 = min(k + 64, _BINS)
+                    slope = float(stale[k2] - stale[k1]) / max(k2 - k1, 1)
+                    # 8 probes, not the default 4: one extra probe
+                    # (~60us) is far cheaper than the fold rebuild a
+                    # miss forces (~340us), so spend probes generously
+                    warm = hist.fit_warm(
+                        budgets[0],
+                        guess,
+                        n_min=cfg.n_min,
+                        n_max=cfg.n_max,
+                        max_probes=8,
+                        slope_hint=max(slope, 8.0),
+                        slack=4,
+                    )
+                if warm is not None:
+                    self._warm_miss = 0
+                    return [warm] * len(budgets)
+            self._warm_miss += 1
+        if uniform:
+            n, edge = hist.fit_edge(budgets[0], n_min=cfg.n_min, n_max=cfg.n_max)
+            self._stale_fold = hist.folded
+            return [(n, edge)] * len(budgets)
+        chosen, edges = hist.fit_many(budgets, n_min=cfg.n_min, n_max=cfg.n_max)
+        self._stale_fold = hist.folded
+        return [(float(n), int(e)) for n, e in zip(chosen, edges)]
 
     def _select(self, grads: Mapping[str, np.ndarray], level: float) -> dict:
         if self.selector is None:

@@ -128,6 +128,15 @@ class Worker:
         # Before any measurement: assume one second (the LBS unit time).
         return self.config.lbs.unit_time_s
 
+    def plan_epoch(self) -> tuple[int, int]:
+        """Token for per-iteration planner caches (WorkerContext API).
+
+        One token per completed iteration: gradients are produced once
+        per iteration, so any plan within the same epoch prices the
+        same gradient map and may reuse its histograms.
+        """
+        return (self.worker_id, self.iteration)
+
     def _group_size(self) -> int:
         """This worker's exchange-group size (itself + current peers)."""
         return len(self.peers) + 1

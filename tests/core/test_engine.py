@@ -76,6 +76,23 @@ class TestEngineBasics:
         assert res.epochs >= 3.0
         assert res.epochs < 6.0  # did not massively overshoot
 
+    def test_profiler_totals_exported_to_metrics(self, fast_config, tiny_topology):
+        from repro.obs.profile import Profiler
+
+        prof = Profiler()
+        engine = TrainingEngine(fast_config, tiny_topology, seed=0, profiler=prof)
+        res = engine.run(10.0)
+        seconds = res.metrics.get("profile_seconds_total")
+        calls = res.metrics.get("profile_calls_total")
+        for scope in ("maxn/plan", "maxn/histograms", "maxn/select_payload"):
+            n, total = prof.totals()[scope]
+            assert calls.value(scope) == n
+            assert seconds.value(scope) == pytest.approx(total)
+
+    def test_no_profiler_no_profile_metrics(self, fast_config, tiny_topology):
+        res = make_engine(fast_config, tiny_topology).run(5.0)
+        assert not list(res.metrics.get("profile_seconds_total").items())
+
 
 class TestEngineSystems:
     @pytest.mark.parametrize("system", ["baseline", "ako", "gaia", "hop"])

@@ -6,7 +6,12 @@ import pytest
 from repro.cluster.messages import sparse_payload_bytes
 from repro.core.config import MaxNConfig
 from repro.core.maxn import select_max_n, select_payload, selection_count
-from repro.core.transmission import TransmissionPlanner, fit_n_to_budget
+from repro.core.transmission import (
+    GradientHistograms,
+    TransmissionPlanner,
+    fit_n_to_budget,
+)
+from repro.obs.profile import Profiler, activate
 
 
 class TestSelectMaxN:
@@ -135,3 +140,239 @@ class TestTransmissionPlanner:
             planner.budget_bytes(0.0, 1.0)
         with pytest.raises(ValueError):
             planner.budget_bytes(10.0, 0.0)
+
+    def test_plan_rejects_nonpositive_bandwidth(self, rng):
+        planner = TransmissionPlanner(MaxNConfig())
+        grads = {"w": rng.normal(size=100)}
+        with pytest.raises(ValueError):
+            planner.plan(grads, {1: 10.0, 2: 0.0}, iter_time_s=1.0)
+        with pytest.raises(ValueError):
+            planner.plan(grads, {1: -5.0}, iter_time_s=1.0)
+
+
+class TestPlannerPayloadCache:
+    def test_same_bin_different_bandwidths_share_payload(self, rng):
+        """Distinct bandwidths whose budgets resolve to the same
+        histogram bin ship the *same object* — the cache keys on the
+        resolved bin, not the bandwidth value."""
+        planner = TransmissionPlanner(MaxNConfig())
+        grads = {"w": rng.normal(size=50_000)}
+        iter_time = 0.05
+        bws = {1: 10.0, 2: 10.001}
+        # Precondition: the two budgets really land in the same bin.
+        hist = GradientHistograms(grads)
+        budgets = [planner.budget_bytes(bw, iter_time) for bw in bws.values()]
+        assert budgets[0] != budgets[1]
+        _, edges = hist.fit_many(budgets)
+        assert edges[0] == edges[1]
+
+        plans = planner.plan(grads, bws, iter_time_s=iter_time)
+        assert plans[1][0] == plans[2][0]
+        assert plans[1][1] is plans[2][1]
+
+    def test_distinct_bins_get_distinct_payloads(self, rng):
+        planner = TransmissionPlanner(MaxNConfig())
+        grads = {"w": rng.normal(size=50_000)}
+        plans = planner.plan(grads, {1: 50.0, 2: 1.0}, iter_time_s=0.01)
+        assert plans[1][1] is not plans[2][1]
+
+    def test_fixed_n_bypasses_cache_and_budget(self, rng):
+        """Fixed-N studies never price budgets (zero bandwidth is fine)
+        and build one payload object per destination."""
+        planner = TransmissionPlanner(MaxNConfig(fixed_n=10.0))
+        grads = {"w": rng.normal(size=1000)}
+        plans = planner.plan(grads, {1: 0.0, 2: 10.0}, iter_time_s=1.0)
+        assert plans[1][0] == 10.0 and plans[2][0] == 10.0
+        # same content, but no sharing: the cache is bypassed entirely
+        assert plans[1][1] is not plans[2][1]
+        np.testing.assert_array_equal(
+            plans[1][1]["w"][0], plans[2][1]["w"][0]
+        )
+
+
+class TestPlannerEpoch:
+    def _profiled_planner(self):
+        return TransmissionPlanner(MaxNConfig()), Profiler()
+
+    def test_same_epoch_reuses_histograms(self, rng):
+        planner, prof = self._profiled_planner()
+        grads = {"w": rng.normal(size=1000)}
+        with activate(prof):
+            planner.plan(grads, {1: 10.0}, 0.5, plan_epoch=(0, 7))
+            planner.plan(grads, {2: 3.0}, 0.5, plan_epoch=(0, 7))
+        calls, _ = prof.totals()["maxn/grad_view"]
+        assert calls == 1
+
+    def test_new_epoch_rebuilds(self, rng):
+        planner, prof = self._profiled_planner()
+        grads = {"w": rng.normal(size=1000)}
+        with activate(prof):
+            planner.plan(grads, {1: 10.0}, 0.5, plan_epoch=(0, 7))
+            planner.plan(grads, {1: 10.0}, 0.5, plan_epoch=(0, 8))
+        calls, _ = prof.totals()["maxn/grad_view"]
+        assert calls == 2
+
+    def test_no_epoch_never_caches(self, rng):
+        planner, prof = self._profiled_planner()
+        grads = {"w": rng.normal(size=1000)}
+        with activate(prof):
+            planner.plan(grads, {1: 10.0}, 0.5)
+            planner.plan(grads, {1: 10.0}, 0.5)
+        calls, _ = prof.totals()["maxn/grad_view"]
+        assert calls == 2
+
+    def test_same_epoch_different_grads_raises(self, rng):
+        planner, _ = self._profiled_planner()
+        g1 = {"w": rng.normal(size=100)}
+        g2 = {"w": rng.normal(size=100)}
+        planner.plan(g1, {1: 10.0}, 0.5, plan_epoch=(0, 7))
+        with pytest.raises(ValueError, match="plan_epoch"):
+            planner.plan(g2, {1: 10.0}, 0.5, plan_epoch=(0, 7))
+
+    def test_epoch_reuse_matches_fresh_plan(self, rng):
+        """A reused-histogram plan is indistinguishable from a fresh one."""
+        grads = {"w": rng.normal(size=2000)}
+        planner = TransmissionPlanner(MaxNConfig())
+        planner.plan(grads, {1: 10.0}, 0.5, plan_epoch=(0, 1))
+        reused = planner.plan(grads, {1: 4.0, 2: 9.0}, 0.5, plan_epoch=(0, 1))
+        fresh = TransmissionPlanner(MaxNConfig()).plan(
+            grads, {1: 4.0, 2: 9.0}, 0.5
+        )
+        for dst in (1, 2):
+            assert reused[dst][0] == fresh[dst][0]
+            np.testing.assert_array_equal(
+                reused[dst][1]["w"][0], fresh[dst][1]["w"][0]
+            )
+
+
+class TestGradientHistograms:
+    def test_bytes_at_is_an_upper_bound(self, rng):
+        grads = {"a": rng.normal(size=3000), "b": rng.normal(size=77)}
+        hist = GradientHistograms(grads)
+        for n in (0.85, 5.0, 37.0, 80.0, 100.0):
+            exact = sparse_payload_bytes(select_payload(grads, n))
+            assert hist.bytes_at(n) >= exact
+
+    def test_select_payload_matches_maxn(self, rng):
+        grads = {
+            "a": rng.normal(size=500).astype(np.float32),
+            "z": np.zeros(10),
+        }
+        hist = GradientHistograms(grads)
+        for n in (0.9, 20.0, 100.0):
+            got = hist.select_payload(n)
+            want = select_payload(grads, n)
+            assert got.keys() == want.keys()
+            for name in want:
+                np.testing.assert_array_equal(got[name][0], want[name][0])
+                np.testing.assert_array_equal(got[name][1], want[name][1])
+
+    def test_fit_many_matches_single_fits(self, rng):
+        grads = {"w": rng.normal(size=10_000)}
+        hist = GradientHistograms(grads)
+        budgets = [50.0, 1e3, 2e4, 7e4, 1e9]
+        chosen, _ = hist.fit_many(budgets)
+        for budget, n in zip(budgets, chosen):
+            assert float(n) == hist.fit(budget)
+
+    def test_fit_many_invalid_bounds(self, rng):
+        hist = GradientHistograms({"w": rng.normal(size=10)})
+        with pytest.raises(ValueError):
+            hist.fit_many([100.0], n_min=0.0)
+
+    def test_all_zero_gradients(self):
+        hist = GradientHistograms({"z": np.zeros(100)})
+        assert hist.bytes_at(100.0) == 0
+        assert hist.fit(1.0) == 100.0
+        assert hist.select_payload(50.0) == {}
+
+    def test_zero_variable_alongside_live_ones(self, rng):
+        grads = {"w": rng.normal(size=500), "z": np.zeros(300)}
+        hist = GradientHistograms(grads)
+        # the zero variable contributes no bytes at any level
+        only_live = GradientHistograms({"w": grads["w"]})
+        for n in (0.85, 10.0, 100.0):
+            assert hist.bytes_at(n) == only_live.bytes_at(n)
+        assert "z" not in hist.select_payload(100.0)
+
+    def test_exact_bytes_matches_encoded_payload(self, rng):
+        grads = {"a": rng.normal(size=2000), "b": rng.normal(size=55)}
+        hist = GradientHistograms(grads)
+        for n in (0.9, 12.0, 64.0, 100.0):
+            assert hist.exact_bytes_at(n) == sparse_payload_bytes(
+                select_payload(grads, n)
+            )
+
+    def test_mixed_dtypes_fall_back_to_per_variable(self, rng):
+        grads = {
+            "a": rng.normal(size=400).astype(np.float32),
+            "b": rng.normal(size=200),  # float64
+        }
+        hist = GradientHistograms(grads)
+        assert not hist.supports_exact_counts
+        for n in (5.0, 50.0, 100.0):
+            assert hist.exact_bytes_at(n) == sparse_payload_bytes(
+                select_payload(grads, n)
+            )
+            got = hist.select_payload(n)
+            want = select_payload(grads, n)
+            assert got.keys() == want.keys()
+            for name in want:
+                np.testing.assert_array_equal(got[name][0], want[name][0])
+
+
+class TestFitWarm:
+    def test_agrees_with_batched_fit(self, rng):
+        grads = {"w": rng.normal(size=8000)}
+        hist = GradientHistograms(grads)
+        for budget in (100.0, 3_000.0, 20_000.0, 1e9):
+            n_cold = hist.fit(budget)
+            _, edges = hist.fit_many([budget])
+            warm = hist.fit_warm(budget, int(edges[0]))
+            assert warm is not None
+            n_warm, edge_warm = warm
+            # exact counts can sit one edge above the overcounting
+            # histogram, never below it
+            assert n_cold - 1e-9 <= n_warm <= n_cold + 100.0 / 4096 + 1e-9
+            if n_warm > 0.85:
+                assert hist.exact_bytes_at(n_warm) <= budget
+
+    def test_distant_guess_gives_up(self, rng):
+        grads = {"w": rng.normal(size=8000)}
+        hist = GradientHistograms(grads)
+        budget = 3_000.0
+        _, edges = hist.fit_many([budget])
+        distant = int(edges[0]) + 500
+        assert hist.fit_warm(budget, distant, max_probes=3) is None
+
+    def test_unbatchable_histograms_decline(self, rng):
+        mixed = {
+            "a": rng.normal(size=50).astype(np.float32),
+            "b": rng.normal(size=50),
+        }
+        hist = GradientHistograms(mixed)
+        assert hist.fit_warm(1000.0, 2000) is None
+
+    def test_planner_warm_starts_across_epochs(self, rng):
+        """Second iteration with uniform bandwidths resolves by exact
+        probes: no histogram fold, one warm fit."""
+        planner = TransmissionPlanner(MaxNConfig())
+        base = rng.normal(size=5000)
+        prof = Profiler()
+        with activate(prof):
+            planner.plan({"w": base}, {1: 5.0, 2: 5.0}, 0.05, plan_epoch=(0, 1))
+            plans = planner.plan(
+                {"w": base + rng.normal(size=5000) * 0.01},
+                {1: 5.0, 2: 5.0},
+                0.05,
+                plan_epoch=(0, 2),
+            )
+        hist_calls, _ = prof.totals()["maxn/histograms"]
+        assert hist_calls == 1  # first iteration only
+        assert "maxn/fit_warm" in prof.totals()
+        assert plans[1][1] is plans[2][1]
+        # the warm-chosen payload still fits the budget exactly
+        n = plans[1][0]
+        if n > 0.85:
+            budget = planner.budget_bytes(5.0, 0.05)
+            assert sparse_payload_bytes(plans[1][1]) <= budget

@@ -5,13 +5,19 @@ import pytest
 
 from repro.core.config import MaxNConfig
 from repro.core.selectors import (
+    GradientSelector,
     MaxNSelector,
     RandomKSelector,
     ThresholdSelector,
     TopKSelector,
     make_selector,
 )
-from repro.core.transmission import TransmissionPlanner, fit_level_to_budget
+from repro.core.transmission import (
+    TransmissionPlanner,
+    fit_level_to_budget,
+    fit_levels_to_budgets,
+)
+from repro.obs.profile import Profiler, activate
 
 
 @pytest.fixture
@@ -139,3 +145,124 @@ class TestGenericBudgetFit:
     def test_planner_selector_config_validation(self):
         with pytest.raises(ValueError):
             MaxNConfig(selector="dct")
+
+
+class _LoopedTopK(TopKSelector):
+    """A top-k selector *without* a vectorized count path: inherits the
+    base class's looping ``count_at_levels``, which the planner treats
+    as unbatchable (per-link bisection fallback)."""
+
+    count_at_levels = GradientSelector.count_at_levels
+
+
+class TestCountAtLevels:
+    def _selectors(self):
+        return [
+            MaxNSelector(),
+            TopKSelector(),
+            RandomKSelector(np.random.default_rng(3)),
+            ThresholdSelector(base_threshold=0.3),
+        ]
+
+    def test_matches_count_at(self, grad):
+        levels = np.array([0.85, 1.0, 7.5, 33.0, 60.0, 99.0, 100.0])
+        for sel in self._selectors():
+            batched = sel.count_at_levels(grad, levels)
+            looped = [sel.count_at(grad, lv) for lv in levels]
+            assert batched.tolist() == looped, type(sel).__name__
+
+    def test_matches_count_at_float32(self, rng):
+        g = rng.normal(size=800).astype(np.float32)
+        levels = np.linspace(0.85, 100.0, 97)
+        for sel in self._selectors():
+            batched = sel.count_at_levels(g, levels)
+            looped = [sel.count_at(g, lv) for lv in levels]
+            assert batched.tolist() == looped, type(sel).__name__
+
+    def test_zero_gradient_all_zero_counts(self):
+        levels = np.array([1.0, 50.0, 100.0])
+        for sel in self._selectors():
+            assert sel.count_at_levels(np.zeros(20), levels).tolist() == [0, 0, 0]
+
+    def test_monotone_in_level(self, grad):
+        levels = np.linspace(0.85, 100.0, 200)
+        for sel in self._selectors():
+            counts = sel.count_at_levels(grad, levels)
+            assert (np.diff(counts) >= 0).all(), type(sel).__name__
+
+    def test_invalid_levels_rejected(self, grad):
+        for sel in self._selectors():
+            with pytest.raises(ValueError):
+                sel.count_at_levels(grad, np.array([0.0, 50.0]))
+
+
+class TestBatchedGenericFit:
+    def test_matches_bisection_within_grid_step(self, rng):
+        grads = {"a": rng.normal(size=2000), "b": rng.normal(size=333)}
+        budgets = [150.0, 900.0, 4_000.0, 12_000.0, 1e9]
+        for sel in (TopKSelector(), ThresholdSelector(base_threshold=0.1)):
+            levels, _ = fit_levels_to_budgets(sel, grads, budgets)
+            step = (100.0 - 0.85) / 4096
+            for budget, level in zip(budgets, levels):
+                bisected = fit_level_to_budget(sel, grads, budget)
+                assert abs(float(level) - bisected) <= step + 0.01 + 1e-9
+
+    def test_exactly_feasible_above_floor(self, rng):
+        grads = {"w": rng.normal(size=5000)}
+        sel = TopKSelector()
+        budgets = [100.0, 2_500.0, 20_000.0]
+        levels, _ = fit_levels_to_budgets(sel, grads, budgets)
+        for budget, level in zip(budgets, levels):
+            if level > 0.85:
+                cnt = sel.count_at(grads["w"], float(level))
+                assert 24 + 8 * cnt <= budget
+
+    def test_equal_grid_indices_mean_equal_levels(self, rng):
+        grads = {"w": rng.normal(size=1000)}
+        levels, idx = fit_levels_to_budgets(
+            TopKSelector(), grads, [500.0, 501.0, 9e9]
+        )
+        assert idx[0] == idx[1] and levels[0] == levels[1]
+        assert levels[2] == 100.0
+
+    def test_invalid_bounds(self, rng):
+        with pytest.raises(ValueError):
+            fit_levels_to_budgets(
+                TopKSelector(), {"w": rng.normal(size=10)}, [1.0], level_min=0.0
+            )
+
+    def test_planner_uses_batched_path_for_vectorized_selector(self, rng):
+        planner = TransmissionPlanner(MaxNConfig(selector="topk"))
+        grads = {"w": rng.normal(size=3000)}
+        prof = Profiler()
+        with activate(prof):
+            plans = planner.plan(grads, {1: 50.0, 2: 50.0, 3: 0.5}, 0.01)
+        assert "maxn/fit_levels_to_budgets" in prof.totals()
+        assert "maxn/fit_level_to_budget" not in prof.totals()
+        # equal budgets share one payload object on the generic path too
+        assert plans[1][1] is plans[2][1]
+        assert plans[1][1] is not plans[3][1]
+
+    def test_planner_falls_back_for_unvectorized_selector(self, rng):
+        planner = TransmissionPlanner(MaxNConfig(), selector=_LoopedTopK())
+        grads = {"w": rng.normal(size=3000)}
+        prof = Profiler()
+        with activate(prof):
+            plans = planner.plan(grads, {1: 50.0, 2: 50.0, 3: 0.5}, 0.01)
+        calls, _ = prof.totals()["maxn/fit_level_to_budget"]
+        assert calls == 2  # one per *distinct* budget, cached by value
+        assert "maxn/fit_levels_to_budgets" not in prof.totals()
+        assert plans[1][1] is plans[2][1]
+
+    def test_fallback_agrees_with_batched_planner(self, rng):
+        grads = {"w": rng.normal(size=3000)}
+        bws = {1: 20.0, 2: 1.0}
+        batched = TransmissionPlanner(MaxNConfig(selector="topk")).plan(
+            grads, bws, 0.01
+        )
+        fallback = TransmissionPlanner(
+            MaxNConfig(), selector=_LoopedTopK()
+        ).plan(grads, bws, 0.01)
+        step = (100.0 - 0.85) / 4096
+        for dst in bws:
+            assert abs(batched[dst][0] - fallback[dst][0]) <= step + 0.01 + 1e-9

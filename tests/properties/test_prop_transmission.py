@@ -1,4 +1,21 @@
-"""Property-based tests for the transmission budget fit."""
+"""Property-based tests for the transmission budget fit.
+
+The batched resolver (:class:`GradientHistograms` + one vectorized
+``searchsorted`` per plan) replaced the historical per-link bisection;
+this suite pins down the invariants the replacement must preserve:
+
+* the chosen N stays in ``[n_min, n_max]``;
+* whenever the chosen N exceeds the floor, the **exact** encoded
+  payload at that N fits the budget (the histogram only overcounts);
+* the fit is monotone non-decreasing in the budget;
+* the batched answer agrees with the reference bisection
+  (``_fit_n_bisect``) within one histogram bin plus the bisection's
+  precision;
+* the generic selector path (``fit_level_to_budget`` with
+  :class:`MaxNSelector`) agrees with the Max-N fast path within the
+  same granularity, including on degenerate gradients (all-zero,
+  single-entry, subnormal magnitudes).
+"""
 
 import numpy as np
 from hypothesis import given, settings
@@ -7,7 +24,17 @@ from hypothesis.extra import numpy as hnp
 
 from repro.cluster.messages import sparse_payload_bytes
 from repro.core.maxn import select_payload
-from repro.core.transmission import fit_n_to_budget
+from repro.core.selectors import MaxNSelector
+from repro.core.transmission import (
+    _BINS,
+    _fit_n_bisect,
+    fit_level_to_budget,
+    fit_n_to_budget,
+)
+
+# One histogram bin of N plus the bisection's precision: the bound on
+# how far the batched answer may sit from any exact-count resolver.
+BIN_TOL = 100.0 / _BINS + 0.01 + 1e-9
 
 grad_dicts = st.dictionaries(
     keys=st.sampled_from(["w1", "w2", "w3"]),
@@ -20,16 +47,32 @@ grad_dicts = st.dictionaries(
     max_size=3,
 )
 
+# Degenerate shapes the batched resolver must survive: all-zero
+# variables, single-entry variables, and subnormal magnitudes whose
+# normalization (mags / mx) must not overflow or lose the max entry.
+tricky_grads = st.dictionaries(
+    keys=st.sampled_from(["w1", "w2", "w3"]),
+    values=hnp.arrays(
+        dtype=np.float64,
+        shape=st.integers(1, 50),
+        elements=st.sampled_from(
+            [0.0, 5e-324, -5e-324, 1e-310, -1e-310, 1e-3, -1.0, 1e3]
+        ),
+    ),
+    min_size=1,
+    max_size=3,
+)
+
 
 @given(grads=grad_dicts, budget=st.floats(1.0, 1e7))
-@settings(max_examples=150, deadline=None)
+@settings(max_examples=500, deadline=None)
 def test_chosen_n_in_bounds(grads, budget):
     n = fit_n_to_budget(grads, budget)
     assert 0.85 <= n <= 100.0
 
 
 @given(grads=grad_dicts, budget=st.floats(1.0, 1e7))
-@settings(max_examples=150, deadline=None)
+@settings(max_examples=500, deadline=None)
 def test_payload_fits_budget_unless_floored(grads, budget):
     """The fitted N's exact payload never exceeds the budget, except
     when the quality floor n_min forces a minimum payload."""
@@ -40,13 +83,45 @@ def test_payload_fits_budget_unless_floored(grads, budget):
 
 
 @given(grads=grad_dicts, b1=st.floats(1.0, 1e6), b2=st.floats(1.0, 1e6))
-@settings(max_examples=150, deadline=None)
+@settings(max_examples=500, deadline=None)
 def test_monotone_in_budget(grads, b1, b2):
     lo, hi = sorted((b1, b2))
     assert fit_n_to_budget(grads, lo) <= fit_n_to_budget(grads, hi) + 1e-9
 
 
+@given(grads=grad_dicts, budget=st.floats(1.0, 1e7))
+@settings(max_examples=500, deadline=None)
+def test_batched_matches_bisection(grads, budget):
+    """The vectorized searchsorted fit lands within one histogram bin
+    (plus the bisection's own precision) of the reference bisection."""
+    batched = fit_n_to_budget(grads, budget)
+    bisected = _fit_n_bisect(grads, budget)
+    assert abs(batched - bisected) <= BIN_TOL
+
+
 @given(grads=grad_dicts)
-@settings(max_examples=80, deadline=None)
+@settings(max_examples=100, deadline=None)
 def test_infinite_budget_sends_everything(grads):
     assert fit_n_to_budget(grads, 1e12) == 100.0
+
+
+@given(grads=tricky_grads, budget=st.floats(1.0, 1e5))
+@settings(max_examples=500, deadline=None)
+def test_generic_maxn_parity(grads, budget):
+    """``fit_level_to_budget`` with the Max-N selector (exact counts,
+    bisection) agrees with the histogram fast path within one bin —
+    including all-zero, single-entry and subnormal variables."""
+    fast = fit_n_to_budget(grads, budget)
+    generic = fit_level_to_budget(MaxNSelector(), grads, budget)
+    assert abs(fast - generic) <= BIN_TOL
+
+
+@given(grads=tricky_grads, budget=st.floats(1.0, 1e5))
+@settings(max_examples=200, deadline=None)
+def test_tricky_payload_fits_budget_unless_floored(grads, budget):
+    """Exact feasibility holds on degenerate gradients too."""
+    n = fit_n_to_budget(grads, budget)
+    assert 0.85 <= n <= 100.0
+    if n > 0.85 + 1e-9:
+        size = sparse_payload_bytes(select_payload(grads, n))
+        assert size <= budget
