@@ -15,7 +15,11 @@ takes ``--env-file`` (custom cluster JSON), ``--churn`` (elastic
 membership events), ``--output``/``--csv`` (result export), and the
 observability flags ``--trace`` (Chrome-trace JSON, viewable in
 Perfetto), ``--metrics-out`` (metrics registry JSON), and ``--profile``
-(wall-clock profile of the simulator itself). All output is plain text;
+(wall-clock profile of the simulator itself). ``run --backend proc``
+executes the same job as real worker processes over a loopback TCP mesh
+(``--speedup`` maps modelled seconds to wall time, ``--workers``
+truncates the environment; see docs/architecture.md). All output is
+plain text;
 benchmark archives land under ``benchmarks/results/`` when figures are
 run through pytest instead.
 """
@@ -53,6 +57,15 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--output", help="write the full result as JSON to this path")
     run_p.add_argument("--csv", help="write per-worker accuracy samples as CSV")
     run_p.add_argument("--system", "-s", default="dlion", choices=SYSTEM_VARIANTS)
+    run_p.add_argument("--backend", choices=("sim", "proc"), default="sim",
+                       help="sim = in-process discrete-event simulator; "
+                       "proc = one OS process per worker over a loopback "
+                       "TCP mesh (see docs/architecture.md)")
+    run_p.add_argument("--speedup", type=float, default=20.0,
+                       help="proc backend: modelled seconds per wall-clock "
+                       "second (default 20)")
+    run_p.add_argument("--workers", type=int, default=None,
+                       help="truncate the environment to its first N workers")
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--horizon", type=float, default=None,
                        help="simulated seconds (default: scaled paper horizon)")
@@ -137,47 +150,79 @@ def _make_obs(args: argparse.Namespace):
     return tracer, metrics, profiler
 
 
-def _run_env_file(args: argparse.Namespace, tracer=None, metrics=None, profiler=None):
-    from repro.cluster.topology import ClusterTopology
-    from repro.cluster.traces import PiecewiseTrace
-    from repro.core.engine import TrainingEngine
-    from repro.experiments.envfile import load_environment
-    from repro.experiments.runner import build_config, cpu_workload, gpu_workload
+def _build_run_setup(args: argparse.Namespace):
+    """Resolve ``(config, topology, default_horizon)`` for a run.
 
-    spec, cores, bandwidths = load_environment(args.env_file)
-    workload = gpu_workload() if spec.platform == "gpu" else cpu_workload()
-    ws = workload.wire_scale()
+    Shared by both backends: the same config and topology drive either
+    the in-process simulator or the multi-process live runtime, so a
+    ``--backend proc`` run trains the exact model the simulation models.
+    """
+    from repro.experiments.runner import build_config
 
-    def scale(bw):
-        if isinstance(bw, (int, float)):
-            return float(bw) * ws
-        # trace: rebuild with scaled levels
-        segments = [(t, v * ws) for t, v in zip(bw._times, bw._values)]
-        return PiecewiseTrace(segments)
+    if args.env_file:
+        from repro.cluster.topology import ClusterTopology
+        from repro.cluster.traces import PiecewiseTrace
+        from repro.experiments.envfile import load_environment
+        from repro.experiments.runner import cpu_workload, gpu_workload
 
-    topo = ClusterTopology.build(
-        cores=cores,
-        bandwidth=[scale(b) for b in bandwidths],
-        per_core_rate=workload.per_unit_rate,
-        overhead=workload.overhead,
+        spec, cores, bandwidths = load_environment(args.env_file)
+        workload = gpu_workload() if spec.platform == "gpu" else cpu_workload()
+        ws = workload.wire_scale()
+
+        def scale(bw):
+            if isinstance(bw, (int, float)):
+                return float(bw) * ws
+            # trace: rebuild with scaled levels
+            segments = [(t, v * ws) for t, v in zip(bw._times, bw._values)]
+            return PiecewiseTrace(segments)
+
+        topo = ClusterTopology.build(
+            cores=cores,
+            bandwidth=[scale(b) for b in bandwidths],
+            per_core_rate=workload.per_unit_rate,
+            overhead=workload.overhead,
+        )
+        print(f"custom environment: {spec.name} ({topo.n_workers} workers)")
+    else:
+        from repro.experiments.environments import get_environment
+        from repro.experiments.runner import build_topology, workload_for
+
+        env = get_environment(args.environment)
+        workload = workload_for(env)
+        topo = build_topology(env, workload, n_workers=args.workers)
+    return build_config(args.system, workload), topo, workload.horizon()
+
+
+def _live_profile_report(metrics) -> str:
+    """Render the merged per-scope wall-clock totals of a live run."""
+    seconds = metrics.get("profile_seconds_total")
+    calls = metrics.get("profile_calls_total")
+    call_map = dict(calls.items()) if calls is not None else {}
+    rows = []
+    if seconds is not None:
+        for key, total in sorted(seconds.items(), key=lambda kv: -kv[1]):
+            rows.append(
+                f"  {key[0]:<28s} {int(call_map.get(key, 0)):>9d} {total:>11.3f}"
+            )
+    header = f"  {'scope':<28s} {'calls':>9s} {'seconds':>11s}"
+    return "\n".join(
+        ["wall-clock profile (summed across worker processes)", header, *rows]
     )
-    engine = TrainingEngine(
-        build_config(args.system, workload),
-        topo,
-        seed=args.seed,
-        membership=_parse_churn(args.churn, n_workers=topo.n_workers),
-        tracer=tracer,
-        metrics=metrics,
-        profiler=profiler,
-    )
-    horizon = args.horizon if args.horizon is not None else workload.horizon()
-    print(f"custom environment: {spec.name} ({topo.n_workers} workers)")
-    return engine.run(horizon)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     if bool(args.environment) == bool(args.env_file):
         print("exactly one of --environment / --env-file is required", file=sys.stderr)
+        return 2
+    if args.env_file and args.workers is not None:
+        print("--workers applies only to preset environments", file=sys.stderr)
+        return 2
+    if args.backend == "proc" and args.churn:
+        print(
+            "--churn is a simulator feature; with --backend proc, kill a "
+            "worker process instead",
+            file=sys.stderr,
+        )
         return 2
     # Fail on unwritable export paths *before* spending minutes simulating.
     import pathlib
@@ -186,41 +231,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if path_arg and not pathlib.Path(path_arg).resolve().parent.is_dir():
             print(f"output directory does not exist: {path_arg}", file=sys.stderr)
             return 2
-    membership = _parse_churn(args.churn)
     tracer, metrics, profiler = _make_obs(args)
-    if args.env_file:
-        result = _run_env_file(args, tracer, metrics, profiler)
-    elif membership is None:
-        spec = RunSpec(
-            environment=args.environment,
-            system=args.system,
-            seed=args.seed,
-            horizon=args.horizon,
-        )
-        result = run_experiment(
-            spec, tracer=tracer, metrics=metrics, profiler=profiler
-        )
-    else:
-        # Elastic runs build the engine directly (RunSpec stays a pure
-        # value object for the figure drivers).
-        from repro.core.engine import TrainingEngine
-        from repro.experiments.environments import get_environment
-        from repro.experiments.runner import build_config, build_topology, workload_for
+    config, topo, default_horizon = _build_run_setup(args)
+    membership = _parse_churn(args.churn, n_workers=topo.n_workers)
+    horizon = args.horizon if args.horizon is not None else default_horizon
+    if args.backend == "proc":
+        from repro.core.live_engine import LiveEngine
 
-        env = get_environment(args.environment)
-        workload = workload_for(env)
-        engine = TrainingEngine(
-            build_config(args.system, workload),
-            build_topology(env, workload),
+        engine = LiveEngine(
+            config,
+            topo,
+            seed=args.seed,
+            speedup=args.speedup,
+            tracer=tracer,
+            metrics=metrics,
+            profile=args.profile,
+        )
+        result = engine.run(horizon)
+    else:
+        from repro.core.engine import TrainingEngine
+
+        sim = TrainingEngine(
+            config,
+            topo,
             seed=args.seed,
             membership=membership,
             tracer=tracer,
             metrics=metrics,
             profiler=profiler,
         )
-        result = engine.run(
-            args.horizon if args.horizon is not None else workload.horizon()
-        )
+        result = sim.run(horizon)
     print(f"environment    : {args.environment or args.env_file}")
     print(f"system         : {args.system}")
     print(f"simulated time : {result.horizon:.0f} s")
@@ -254,9 +294,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if metrics is not None:
         metrics.write(args.metrics_out)
         print(f"metrics JSON   : {args.metrics_out}")
-    if profiler is not None:
+    if args.profile:
         print()
-        print(profiler.report())
+        if args.backend == "proc":
+            print(_live_profile_report(result.metrics))
+        else:
+            print(profiler.report())
     return 0
 
 

@@ -4,6 +4,14 @@ The prototype uses Redis PUB/SUB and Lists: a *control queue* for
 signalling and a *data queue* for gradients and weights (paper §4.2).
 Here each worker owns one of each; the engine delivers messages into
 them at the simulated arrival time and notifies the worker's handler.
+
+Queues may be bounded (``capacity`` messages per queue, mirroring a
+Redis ``LTRIM`` retention policy or a broker's max queue length): a
+push into a full queue is rejected and counted in ``dropped_control`` /
+``dropped_data``, so both the sim and the live backend surface
+backpressure instead of buffering without limit. The engine exports the
+depths and drop counts through the ``queue_depth{worker,kind}`` gauge
+and ``queue_dropped_total{worker,kind}`` counter.
 """
 
 from __future__ import annotations
@@ -15,24 +23,42 @@ __all__ = ["MessageQueues"]
 
 
 class MessageQueues:
-    """Control + data FIFO queues for one worker."""
+    """Control + data FIFO queues for one worker.
 
-    def __init__(self, owner: int):
+    ``capacity`` bounds each queue individually (``None`` = unbounded,
+    the historical behaviour). ``push_*`` return ``False`` when the
+    message was rejected by a full queue.
+    """
+
+    def __init__(self, owner: int, capacity: int | None = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
         self.owner = owner
+        self.capacity = capacity
         self.control: deque[Any] = deque()
         self.data: deque[Any] = deque()
         self.delivered_control = 0
         self.delivered_data = 0
+        self.dropped_control = 0
+        self.dropped_data = 0
 
-    def push_control(self, msg: Any) -> None:
-        """Deliver a control message into the control queue."""
+    def push_control(self, msg: Any) -> bool:
+        """Deliver a control message; False if the queue was full."""
+        if self.capacity is not None and len(self.control) >= self.capacity:
+            self.dropped_control += 1
+            return False
         self.control.append(msg)
         self.delivered_control += 1
+        return True
 
-    def push_data(self, msg: Any) -> None:
-        """Deliver a data message into the data queue."""
+    def push_data(self, msg: Any) -> bool:
+        """Deliver a data message; False if the queue was full."""
+        if self.capacity is not None and len(self.data) >= self.capacity:
+            self.dropped_data += 1
+            return False
         self.data.append(msg)
         self.delivered_data += 1
+        return True
 
     def pop_control(self) -> Any | None:
         """Dequeue the oldest control message (None if empty)."""
@@ -53,6 +79,16 @@ class MessageQueues:
         out = list(self.control)
         self.control.clear()
         return out
+
+    @property
+    def control_depth(self) -> int:
+        """Pending messages in the control queue."""
+        return len(self.control)
+
+    @property
+    def data_depth(self) -> int:
+        """Pending messages in the data queue."""
+        return len(self.data)
 
     def __len__(self) -> int:
         return len(self.control) + len(self.data)

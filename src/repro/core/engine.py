@@ -31,6 +31,7 @@ from repro.cluster.simclock import SimClock
 from repro.cluster.topology import ClusterTopology
 from repro.core.config import TrainConfig
 from repro.core.gbs_controller import GbsController
+from repro.core.run_metrics import RunMetrics
 from repro.core.worker import Worker
 from repro.nn.datasets import MinibatchSampler, SyntheticImageDataset
 from repro.nn.models import build_model
@@ -267,68 +268,33 @@ class TrainingEngine:
     # Construction helpers
     # ------------------------------------------------------------------
     def _register_metrics(self) -> None:
-        """Create the run's metric families (docs/observability.md)."""
-        m = self.metrics
-        self._c_grad_bytes = m.counter(
-            "grad_bytes_total", "gradient payload bytes per directed link",
-            ("src", "dst"),
-        )
-        self._c_grad_msgs = m.counter(
-            "grad_msgs_total", "gradient messages per directed link",
-            ("src", "dst"),
-        )
-        self._c_weight_bytes = m.counter(
-            "weight_bytes_total", "DKT weight-snapshot bytes per directed link",
-            ("src", "dst"),
-        )
-        self._h_chosen_n = m.histogram(
-            "maxn_chosen_n", "Max-N value chosen per link decision", ("link",),
-            buckets=(1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0),
-        )
-        self._c_iterations = m.counter(
-            "iterations_total", "completed gradient iterations", ("worker",)
-        )
-        self._h_iteration_s = m.histogram(
-            "iteration_seconds", "simulated duration of one iteration",
-            ("worker",),
-        )
-        self._h_wait_s = m.histogram(
-            "sync_wait_seconds", "simulated length of one sync-gate wait",
-            ("worker",),
-        )
-        self._c_wait_total = m.counter(
-            "sync_wait_seconds_total",
-            "simulated seconds blocked on the sync gate", ("worker",),
-        )
-        self._c_compute_total = m.counter(
-            "compute_seconds_total",
-            "simulated seconds computing gradients", ("worker",),
-        )
-        self._c_dkt_merges = m.counter(
-            "dkt_merges_total", "DKT weight merges applied", ("worker",)
-        )
-        self._c_dkt_pulls = m.counter(
-            "dkt_pulls_total", "DKT weight-pull requests sent", ("worker",)
-        )
-        self._g_gbs = m.gauge("gbs", "current global batch size")
-        self._g_lbs = m.gauge("lbs", "current local batch size", ("worker",))
-        self._g_queue_depth = m.gauge(
-            "queue_depth", "pending messages in a worker's queues", ("worker",)
-        )
-        self._g_active = m.gauge("active_workers", "currently active workers")
-        self._c_events = m.counter(
-            "events_processed", "simulation events dispatched"
-        )
-        # Wall-clock attribution (populated at finalize when a profiler
-        # is attached, empty otherwise): lets a --metrics-out dump carry
-        # the same per-scope numbers the --profile table prints.
-        self._c_profile_seconds = m.counter(
-            "profile_seconds_total",
-            "wall-clock seconds per profiler scope", ("scope",),
-        )
-        self._c_profile_calls = m.counter(
-            "profile_calls_total", "profiler scope entries", ("scope",)
-        )
+        """Attach the shared run metric catalog (docs/observability.md).
+
+        The families live in :class:`~repro.core.run_metrics.RunMetrics`
+        so the live backend registers the identical catalog; the private
+        aliases below are what workers reference on their hot paths.
+        """
+        rm = RunMetrics(self.metrics)
+        self.run_metrics = rm
+        self._c_grad_bytes = rm.c_grad_bytes
+        self._c_grad_msgs = rm.c_grad_msgs
+        self._c_weight_bytes = rm.c_weight_bytes
+        self._h_chosen_n = rm.h_chosen_n
+        self._c_iterations = rm.c_iterations
+        self._h_iteration_s = rm.h_iteration_s
+        self._h_wait_s = rm.h_wait_s
+        self._c_wait_total = rm.c_wait_total
+        self._c_compute_total = rm.c_compute_total
+        self._c_dkt_merges = rm.c_dkt_merges
+        self._c_dkt_pulls = rm.c_dkt_pulls
+        self._g_gbs = rm.g_gbs
+        self._g_lbs = rm.g_lbs
+        self._g_queue_depth = rm.g_queue_depth
+        self._c_queue_dropped = rm.c_queue_dropped
+        self._g_active = rm.g_active
+        self._c_events = rm.c_events
+        self._c_profile_seconds = rm.c_profile_seconds
+        self._c_profile_calls = rm.c_profile_calls
 
     def _emit_trace_metadata(self) -> None:
         """Name one trace process per worker plus the cluster pseudo-process."""
@@ -446,7 +412,7 @@ class TrainingEngine:
         elif isinstance(msg, RcpShareMessage):
             handler = self.workers[dst].on_rcp_share
         elif isinstance(msg, ControlMessage):
-            handler = self.workers[dst].queues.push_control
+            handler = self.workers[dst].on_control_message
         else:
             raise TypeError(f"not a control message: {type(msg).__name__}")
         self._deliver(src, dst, msg.wire_bytes(), handler, msg, kind="ctrl")

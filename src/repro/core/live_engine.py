@@ -1,0 +1,274 @@
+"""LiveEngine: the multi-process (``--backend proc``) run orchestrator.
+
+Spawns one OS process per DLion worker (each running a
+:class:`~repro.transport.runtime.LiveWorkerRuntime` over an asyncio TCP
+:class:`~repro.transport.mesh.PeerMesh`), coordinates the port-exchange
+handshake over pipes, optionally kills a worker mid-run (the churn /
+fault-injection hook the acceptance tests use), and merges every child's
+metrics, time series, and trace events into the same
+:class:`~repro.core.engine.RunResult` shape the simulator produces — so
+``report``, ``--metrics-out``, and the experiment tooling work on live
+runs unchanged.
+
+The engine is hang-proof by construction: every phase of the handshake
+and the result collection runs against a wall-clock deadline, and any
+child that misses it (or reports an error) causes the remaining
+processes to be terminated before the failure is raised.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+from repro.cluster.topology import ClusterTopology
+from repro.core.config import TrainConfig
+from repro.core.engine import RunResult
+from repro.core.run_metrics import RunMetrics
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER
+from repro.transport.mesh import TransportConfig
+from repro.transport.runtime import LiveRunSpec, run_live_worker
+from repro.utils.metrics import TimeSeries
+
+__all__ = ["LiveEngine"]
+
+# How long to wait for child startup phases (port report, mesh connect).
+_HANDSHAKE_TIMEOUT_S = 60.0
+
+
+class LiveEngine:
+    """Runs one training job as real communicating worker processes."""
+
+    def __init__(
+        self,
+        config: TrainConfig,
+        topology: ClusterTopology,
+        *,
+        seed: int = 0,
+        speedup: float = 20.0,
+        transport: TransportConfig | None = None,
+        tracer=None,
+        metrics: MetricsRegistry | None = None,
+        profile: bool = False,
+        host: str = "127.0.0.1",
+    ):
+        self.config = config
+        self.topology = topology
+        self.n_workers = topology.n_workers
+        self.seed = seed
+        self.speedup = float(speedup)
+        self.transport = transport if transport is not None else TransportConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.profile = profile
+        self.host = host
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        horizon: float,
+        *,
+        chaos_kill: tuple[float, int] | None = None,
+        grace_s: float = 60.0,
+    ) -> RunResult:
+        """Run every worker process to the modelled ``horizon`` and merge.
+
+        ``chaos_kill=(wall_delay_s, worker_id)`` SIGKILLs one worker that
+        many wall seconds after the go signal — the dead-peer path the
+        acceptance criteria exercise (survivors must reconnect/backoff,
+        then surface a clean membership change, never hang). ``grace_s``
+        bounds how long past the modelled horizon's wall equivalent the
+        parent waits before declaring a child hung and terminating it.
+        """
+        spec = LiveRunSpec(
+            config=self.config,
+            topology=self.topology,
+            seed=self.seed,
+            horizon=horizon,
+            speedup=self.speedup,
+            transport=self.transport,
+            trace=self.tracer.enabled,
+            profile=self.profile,
+            host=self.host,
+        )
+        ctx = multiprocessing.get_context("spawn")
+        conns = []
+        procs = []
+        try:
+            for w in range(self.n_workers):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                proc = ctx.Process(
+                    target=run_live_worker,
+                    args=(w, spec, child_conn),
+                    daemon=True,
+                    name=f"dlion-worker-{w}",
+                )
+                proc.start()
+                child_conn.close()  # the child holds its own copy
+                conns.append(parent_conn)
+                procs.append(proc)
+
+            port_map = self._collect_ports(conns, procs)
+            for conn in conns:
+                conn.send(("ports", port_map))
+            self._collect_ready(conns, procs)
+            for conn in conns:
+                conn.send(("go",))
+
+            payloads, killed = self._collect_results(
+                conns, procs, horizon, chaos_kill, grace_s
+            )
+        finally:
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+            for proc in procs:
+                proc.join(timeout=5.0)
+                if proc.is_alive():  # pragma: no cover - last resort
+                    proc.kill()
+                    proc.join(timeout=5.0)
+            for conn in conns:
+                conn.close()
+        return self._merge(payloads, killed, horizon)
+
+    # ------------------------------------------------------------------
+    # Handshake phases
+    # ------------------------------------------------------------------
+    def _recv_expected(self, conns, procs, expected: str) -> dict[int, tuple]:
+        """Collect one ``expected``-tagged message from every child."""
+        out: dict[int, tuple] = {}
+        deadline = time.monotonic() + _HANDSHAKE_TIMEOUT_S
+        pending = set(range(self.n_workers))
+        while pending:
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"live worker(s) {sorted(pending)} did not report "
+                    f"{expected!r} within {_HANDSHAKE_TIMEOUT_S:.0f}s"
+                )
+            for w in sorted(pending):
+                if not procs[w].is_alive() and not conns[w].poll():
+                    raise RuntimeError(
+                        f"live worker {w} died during the {expected!r} handshake"
+                    )
+                if conns[w].poll(0.01):
+                    try:
+                        msg = conns[w].recv()
+                    except EOFError:
+                        raise RuntimeError(
+                            f"live worker {w} closed its pipe during the "
+                            f"{expected!r} handshake"
+                        ) from None
+                    if msg[0] == "error":
+                        raise RuntimeError(
+                            f"live worker {w} failed during startup:\n{msg[2]}"
+                        )
+                    if msg[0] != expected:
+                        raise RuntimeError(
+                            f"live worker {w}: expected {expected!r}, got {msg[0]!r}"
+                        )
+                    out[w] = msg
+                    pending.discard(w)
+        return out
+
+    def _collect_ports(self, conns, procs) -> dict[int, int]:
+        msgs = self._recv_expected(conns, procs, "port")
+        return {w: msg[2] for w, msg in msgs.items()}
+
+    def _collect_ready(self, conns, procs) -> None:
+        self._recv_expected(conns, procs, "ready")
+
+    def _collect_results(
+        self, conns, procs, horizon, chaos_kill, grace_s
+    ) -> tuple[dict[int, dict], set[int]]:
+        t0 = time.monotonic()
+        deadline = t0 + horizon / self.speedup + grace_s
+        payloads: dict[int, dict] = {}
+        killed: set[int] = set()
+        pending = set(range(self.n_workers))
+        kill_at = None
+        kill_target = None
+        if chaos_kill is not None:
+            kill_at = t0 + float(chaos_kill[0])
+            kill_target = int(chaos_kill[1])
+        while pending:
+            now = time.monotonic()
+            if kill_at is not None and now >= kill_at and kill_target in pending:
+                procs[kill_target].kill()
+                killed.add(kill_target)
+                pending.discard(kill_target)
+                kill_at = None
+            if now > deadline:
+                # Hang-proofing: a worker that outlives the horizon plus
+                # grace is terminated; the run fails loudly.
+                for w in sorted(pending):
+                    procs[w].terminate()
+                raise RuntimeError(
+                    f"live worker(s) {sorted(pending)} missed the horizon "
+                    f"deadline (+{grace_s:.0f}s grace); terminated"
+                )
+            for w in sorted(pending):
+                if conns[w].poll(0.02):
+                    try:
+                        msg = conns[w].recv()
+                    except EOFError:
+                        raise RuntimeError(
+                            f"live worker {w} closed its pipe before "
+                            "reporting a result"
+                        ) from None
+                    if msg[0] == "error":
+                        raise RuntimeError(f"live worker {w} failed:\n{msg[2]}")
+                    if msg[0] == "result":
+                        payloads[w] = msg[2]
+                        pending.discard(w)
+                elif not procs[w].is_alive():
+                    if w in killed:  # pragma: no cover - already handled
+                        pending.discard(w)
+                    else:
+                        raise RuntimeError(
+                            f"live worker {w} exited without reporting a result"
+                        )
+        return payloads, killed
+
+    # ------------------------------------------------------------------
+    # Result merging
+    # ------------------------------------------------------------------
+    def _merge(
+        self, payloads: dict[int, dict], killed: set[int], horizon: float
+    ) -> RunResult:
+        RunMetrics(self.metrics)  # ensure the catalog exists even if empty
+        result = RunResult(
+            n_workers=self.n_workers, horizon=horizon, metrics=self.metrics
+        )
+        result.accuracy = [TimeSeries() for _ in range(self.n_workers)]
+        result.loss = [TimeSeries() for _ in range(self.n_workers)]
+        result.lbs = [TimeSeries() for _ in range(self.n_workers)]
+        result.iterations = [0] * self.n_workers
+
+        def fill(ts: TimeSeries, pair) -> None:
+            for t, v in zip(*pair):
+                ts.append(t, v)
+
+        for w, payload in sorted(payloads.items()):
+            fill(result.accuracy[w], payload["accuracy"])
+            fill(result.loss[w], payload["loss"])
+            fill(result.lbs[w], payload["lbs"])
+            result.iterations[w] = payload["iterations"]
+            result.dkt_merges += payload["dkt_merges"]
+            result.events += payload["events"]
+            result.epochs = max(result.epochs, payload["epoch"])
+            for key, pair in payload["link_entries"].items():
+                fill(result.link_entries.setdefault(tuple(key), TimeSeries()), pair)
+            for key, pair in payload["link_chosen_n"].items():
+                fill(result.link_chosen_n.setdefault(tuple(key), TimeSeries()), pair)
+            self.metrics.merge_state(payload["metrics"])
+            if self.tracer.enabled and payload["trace_events"]:
+                self.tracer.ingest(payload["trace_events"])
+
+        # GBS and membership are cluster-wide series every worker records
+        # its own view of; take the lowest surviving worker's.
+        if payloads:
+            first = payloads[min(payloads)]
+            fill(result.gbs, first["gbs"])
+            fill(result.active_workers, first["active_workers"])
+        return result

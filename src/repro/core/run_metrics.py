@@ -1,0 +1,101 @@
+"""The run-accounting metric families shared by both backends.
+
+The simulator (:class:`~repro.core.engine.TrainingEngine`) and the live
+multi-process backend (:mod:`repro.transport.runtime`) must report the
+same metric catalog with the same names and label schemas — that is
+what lets ``repro-dlion report`` and a ``--metrics-out`` dump read
+identically whichever backend produced them, and what the sim/live
+parity tests compare. Registering the families in one place keeps the
+two backends from drifting.
+
+The catalog is documented in ``docs/observability.md``. Transport-layer
+families (``transport_*``) are registered separately by
+:class:`repro.transport.mesh.PeerMesh` because only the live backend
+has real sockets to account for.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["RunMetrics"]
+
+
+class RunMetrics:
+    """Registers (or re-attaches to) the run metric families.
+
+    Instantiating this against a registry is idempotent: families are
+    get-or-create, so an engine can attach to a registry that already
+    carries series (e.g. the parent registry a live run merges into).
+    """
+
+    def __init__(self, registry: MetricsRegistry):
+        m = registry
+        self.registry = registry
+        self.c_grad_bytes = m.counter(
+            "grad_bytes_total", "gradient payload bytes per directed link",
+            ("src", "dst"),
+        )
+        self.c_grad_msgs = m.counter(
+            "grad_msgs_total", "gradient messages per directed link",
+            ("src", "dst"),
+        )
+        self.c_weight_bytes = m.counter(
+            "weight_bytes_total", "DKT weight-snapshot bytes per directed link",
+            ("src", "dst"),
+        )
+        self.h_chosen_n = m.histogram(
+            "maxn_chosen_n", "Max-N value chosen per link decision", ("link",),
+            buckets=(1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0),
+        )
+        self.c_iterations = m.counter(
+            "iterations_total", "completed gradient iterations", ("worker",)
+        )
+        self.h_iteration_s = m.histogram(
+            "iteration_seconds", "simulated duration of one iteration",
+            ("worker",),
+        )
+        self.h_wait_s = m.histogram(
+            "sync_wait_seconds", "simulated length of one sync-gate wait",
+            ("worker",),
+        )
+        self.c_wait_total = m.counter(
+            "sync_wait_seconds_total",
+            "simulated seconds blocked on the sync gate", ("worker",),
+        )
+        self.c_compute_total = m.counter(
+            "compute_seconds_total",
+            "simulated seconds computing gradients", ("worker",),
+        )
+        self.c_dkt_merges = m.counter(
+            "dkt_merges_total", "DKT weight merges applied", ("worker",)
+        )
+        self.c_dkt_pulls = m.counter(
+            "dkt_pulls_total", "DKT weight-pull requests sent", ("worker",)
+        )
+        self.g_gbs = m.gauge("gbs", "current global batch size")
+        self.g_lbs = m.gauge("lbs", "current local batch size", ("worker",))
+        self.g_queue_depth = m.gauge(
+            "queue_depth",
+            "pending messages in a worker's queue, per kind",
+            ("worker", "kind"),
+        )
+        self.c_queue_dropped = m.counter(
+            "queue_dropped_total",
+            "messages rejected by a bounded worker queue, per kind",
+            ("worker", "kind"),
+        )
+        self.g_active = m.gauge("active_workers", "currently active workers")
+        self.c_events = m.counter(
+            "events_processed", "simulation events dispatched"
+        )
+        # Wall-clock attribution (populated at finalize when a profiler
+        # is attached, empty otherwise): lets a --metrics-out dump carry
+        # the same per-scope numbers the --profile table prints.
+        self.c_profile_seconds = m.counter(
+            "profile_seconds_total",
+            "wall-clock seconds per profiler scope", ("scope",),
+        )
+        self.c_profile_calls = m.counter(
+            "profile_calls_total", "profiler scope entries", ("scope",)
+        )

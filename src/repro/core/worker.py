@@ -75,7 +75,7 @@ class Worker:
         self.rng = rng
 
         self.n_workers = engine.n_workers
-        self.queues = MessageQueues(worker_id)
+        self.queues = MessageQueues(worker_id, capacity=config.queue_capacity)
         self.dkt = DktState(config.dkt, worker_id, self.n_workers)
         self.lbs_controller = LbsController(config.lbs)
 
@@ -374,8 +374,15 @@ class Worker:
     # ------------------------------------------------------------------
     def on_gradient_message(self, msg: GradientMessage) -> None:
         """Model update module: apply a peer's (partial) gradients (Eq. 7)."""
-        self.queues.push_data(msg)
-        self.engine._g_queue_depth.set(len(self.queues), self.worker_id)
+        accepted = self.queues.push_data(msg)
+        self.engine._g_queue_depth.set(
+            self.queues.data_depth, self.worker_id, "data"
+        )
+        if not accepted:
+            # Bounded queue overflow: the update is lost (backpressure),
+            # exactly like a capped broker queue dropping the newest entry.
+            self.engine._c_queue_dropped.inc(1, self.worker_id, "data")
+            return
         self.stats_grad_msgs_received += 1
         db = dynamic_batching_weight(
             msg.lbs, self.lbs, enabled=self.config.weighted_update
@@ -386,6 +393,9 @@ class Worker:
         elif msg.sparse:
             self.model.apply_sparse_grads(msg.sparse, lr=self.config.lr, coeff=coeff)
         self.queues.pop_data()
+        self.engine._g_queue_depth.set(
+            self.queues.data_depth, self.worker_id, "data"
+        )
         if self.tracer.enabled:
             self.tracer.instant(
                 "apply-grads", self.worker_id, TID_ITER, self.now(),
@@ -403,6 +413,21 @@ class Worker:
                 self.sync_state.received_from[msg.sender] = msg.iteration
         if self.waiting:
             self.try_start_iteration()
+
+    def on_control_message(self, msg) -> None:
+        """Park an opaque control message in the control queue.
+
+        Typed control traffic (loss shares, DKT requests, RCP shares)
+        has dedicated handlers; anything else lands here so application
+        extensions can drain it. Bounded queues reject (and count)
+        overflow.
+        """
+        accepted = self.queues.push_control(msg)
+        self.engine._g_queue_depth.set(
+            self.queues.control_depth, self.worker_id, "control"
+        )
+        if not accepted:
+            self.engine._c_queue_dropped.inc(1, self.worker_id, "control")
 
     # ------------------------------------------------------------------
     # Model synchronization module

@@ -258,12 +258,22 @@ def build_config(variant: str, workload: Workload, **overrides) -> TrainConfig:
 # ----------------------------------------------------------------------
 # Topology construction
 # ----------------------------------------------------------------------
-def build_topology(env: EnvSpec, workload: Workload) -> ClusterTopology:
-    """The simulated cluster for one environment, wire-scaled."""
+def build_topology(
+    env: EnvSpec, workload: Workload, n_workers: int | None = None
+) -> ClusterTopology:
+    """The simulated cluster for one environment, wire-scaled.
+
+    ``n_workers`` truncates the environment to its first N workers
+    (N >= 2) — used by the live backend's smoke runs, where spawning
+    all six Table 3 processes would be needlessly heavy.
+    """
+    max_n = len(env.cores) if env.cores else 6
+    if n_workers is not None and not 2 <= n_workers <= max_n:
+        raise ValueError(f"n_workers must be in [2, {max_n}], got {n_workers}")
     ws = workload.wire_scale()
     if not env.dynamic:
-        cores = list(env.cores)
-        bw = [b * ws for b in env.bandwidth]
+        cores = list(env.cores[:n_workers])
+        bw = [b * ws for b in env.bandwidth[:n_workers]]
         return ClusterTopology.build(
             cores=cores,
             bandwidth=bw,
@@ -275,7 +285,7 @@ def build_topology(env: EnvSpec, workload: Workload) -> ClusterTopology:
     phases = [get_environment(p) for p in env.phases]
     dur = workload.phase_duration()
     starts = [k * dur for k in range(len(phases))]
-    n = 6
+    n = n_workers if n_workers is not None else 6
     cores = [
         PiecewiseTrace([(s, p.cores[i]) for s, p in zip(starts, phases)])
         for i in range(n)

@@ -260,6 +260,75 @@ class MetricsRegistry:
         """Registered family names in registration order."""
         return list(self._families)
 
+    def dump_state(self) -> dict:
+        """Picklable snapshot of every family's raw series.
+
+        The inverse of :meth:`merge_state`; used by the live backend to
+        ship each child process's registry back to the parent. Label
+        tuples are preserved verbatim (ints stay ints), so a merged
+        registry is indistinguishable from one recorded in-process.
+        """
+        out: dict = {}
+        for name, fam in self._families.items():
+            entry: dict = {
+                "kind": fam.kind,
+                "help": fam.help,
+                "labels": fam.label_names,
+            }
+            if isinstance(fam, Histogram):
+                entry["buckets"] = fam.buckets
+                entry["series"] = {
+                    key: {
+                        "bucket_counts": list(st.bucket_counts),
+                        "count": st.count,
+                        "sum": st.sum,
+                        "min": st.min,
+                        "max": st.max,
+                    }
+                    for key, st in fam.items()
+                }
+            else:
+                entry["series"] = dict(fam._values)
+            out[name] = entry
+        return out
+
+    def merge_state(self, state: dict) -> None:
+        """Fold a :meth:`dump_state` snapshot into this registry.
+
+        Counters add, gauges take the incoming value (last writer wins),
+        and histograms merge bucket counts — so merging N worker
+        registries yields the same totals as one shared registry would
+        have recorded.
+        """
+        for name, entry in state.items():
+            labels = tuple(entry["labels"])
+            if entry["kind"] == "counter":
+                fam = self.counter(name, entry["help"], labels)
+                for key, value in entry["series"].items():
+                    fam.inc(value, *key)
+            elif entry["kind"] == "gauge":
+                fam = self.gauge(name, entry["help"], labels)
+                for key, value in entry["series"].items():
+                    fam.set(value, *key)
+            elif entry["kind"] == "histogram":
+                fam = self.histogram(
+                    name, entry["help"], labels, buckets=entry["buckets"]
+                )
+                for key, sdict in entry["series"].items():
+                    st = fam._states.get(tuple(key))
+                    if st is None:
+                        st = fam._states[tuple(key)] = _HistogramState(
+                            len(fam.buckets)
+                        )
+                    for i, c in enumerate(sdict["bucket_counts"]):
+                        st.bucket_counts[i] += c
+                    st.count += sdict["count"]
+                    st.sum += sdict["sum"]
+                    st.min = min(st.min, sdict["min"])
+                    st.max = max(st.max, sdict["max"])
+            else:  # pragma: no cover - future kinds
+                raise ValueError(f"unknown metric kind {entry['kind']!r}")
+
     def to_dict(self) -> dict:
         """JSON-serializable dump of every family and sample."""
         return {

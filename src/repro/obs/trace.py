@@ -164,6 +164,31 @@ class Tracer:
              "args": dict(values)}
         )
 
+    # -- merging -------------------------------------------------------
+    def ingest(self, events: list[dict]) -> None:
+        """Fold another tracer's :meth:`events` output into this one.
+
+        Used by the live backend to merge per-process child traces into
+        the parent's document. Metadata records (``ph == "M"``) are
+        deduplicated by (kind, pid[, tid]) like locally-emitted naming;
+        everything else is appended in the given order.
+        """
+        for ev in events:
+            if ev.get("ph") == "M":
+                if ev.get("name") == "process_name":
+                    key = ("p", ev["pid"])
+                elif ev.get("name") == "thread_name":
+                    key = ("t", ev["pid"], ev.get("tid", 0))
+                else:
+                    self._meta.append(ev)
+                    continue
+                if key in self._named:
+                    continue
+                self._named.add(key)
+                self._meta.append(ev)
+            else:
+                self._events.append(ev)
+
     # -- export --------------------------------------------------------
     def events(self) -> list[dict]:
         """All recorded events, metadata first, in emission order."""

@@ -1,0 +1,27 @@
+"""Real multi-process transport runtime.
+
+The simulator's `cluster.queues` / `cluster.network` pair models the
+prototype's Redis control/data queues over emulated links. This package
+is the *live* counterpart: the same :class:`~repro.cluster.messages`
+dataclasses serialized by a versioned wire codec (:mod:`.codec`),
+shipped over an asyncio TCP peer mesh with separate control and data
+channels per peer (:mod:`.mesh`), paced by per-link token-bucket
+bandwidth shapers (:mod:`.shaper`) so the Table 3 WAN/LAN asymmetry is
+enforced on real sockets, and driven by a per-process worker runtime
+(:mod:`.runtime`) that reuses :class:`~repro.core.worker.Worker`
+unchanged. `repro.core.live_engine` orchestrates the processes.
+"""
+
+from repro.transport.codec import decode_message, encode_message
+from repro.transport.mesh import CHANNEL_CONTROL, CHANNEL_DATA, PeerMesh, TransportConfig
+from repro.transport.shaper import TokenBucket
+
+__all__ = [
+    "encode_message",
+    "decode_message",
+    "PeerMesh",
+    "TransportConfig",
+    "CHANNEL_CONTROL",
+    "CHANNEL_DATA",
+    "TokenBucket",
+]

@@ -1,0 +1,370 @@
+"""Wire codec: length-prefixed, versioned frames for cluster messages.
+
+Serializes the :mod:`repro.cluster.messages` dataclasses for real
+sockets, mirroring the paper's Redis value format (§4.2): gradients
+travel "divided into indices and data" at per-weight-variable
+granularity. The layout:
+
+* **frame header** (8 bytes): ``magic "DL" | version u8 | type u8 |
+  body_len u32`` — big-endian, so a corrupt or foreign stream is
+  rejected on the first 8 bytes;
+* **sparse payloads**: per variable, a length-prefixed name, an entry
+  count, then the flat indices as little-endian ``uint32`` and the
+  values as little-endian ``float32`` — 8 bytes per entry, exactly the
+  accounting :func:`repro.cluster.messages.sparse_payload_bytes` uses;
+* **dense payloads**: per variable, a length-prefixed name, the shape,
+  then the raw little-endian ``float32`` buffer — 4 bytes per value;
+* **control messages** (loss shares, DKT requests, RCP shares,
+  go-signals, plus the transport-internal hello/heartbeat/bye): their
+  natural encodings are tiny, so frames are zero-padded up to
+  ``CONTROL_MESSAGE_BYTES`` — the estimate the simulator charges is the
+  size that actually crosses the wire.
+
+Size parity with the simulator's estimates is a documented invariant:
+for any message ``m``, ``len(encode_message(m))`` differs from
+``m.wire_bytes()`` by at most ``SIZE_SLACK_FIXED + n_vars *
+SIZE_SLACK_PER_VAR`` (and control-type frames match exactly). The
+tier-1 property tests enforce the bound, so Max-N link budgets computed
+from the estimates stay honest on real sockets.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.messages import (
+    CONTROL_MESSAGE_BYTES,
+    ControlMessage,
+    DktRequestMessage,
+    GradientMessage,
+    LossShareMessage,
+    RcpShareMessage,
+    WeightMessage,
+)
+
+__all__ = [
+    "CodecError",
+    "MAGIC",
+    "VERSION",
+    "FRAME_HEADER",
+    "FRAME_HEADER_BYTES",
+    "MAX_NAME_BYTES",
+    "MAX_NDIM",
+    "SIZE_SLACK_FIXED",
+    "SIZE_SLACK_PER_VAR",
+    "T_HELLO",
+    "T_HEARTBEAT",
+    "T_BYE",
+    "T_GRADIENT",
+    "T_WEIGHTS",
+    "T_LOSS_SHARE",
+    "T_DKT_REQUEST",
+    "T_RCP_SHARE",
+    "T_CONTROL",
+    "Hello",
+    "Heartbeat",
+    "Bye",
+    "encode_message",
+    "decode_message",
+    "decode_body",
+    "size_slack",
+]
+
+MAGIC = b"DL"
+VERSION = 1
+
+# Frame header: magic, version, message type, body length.
+FRAME_HEADER = struct.Struct("!2sBBI")
+FRAME_HEADER_BYTES = FRAME_HEADER.size  # 8
+
+# Codec limits (enforced on encode, validated on decode).
+MAX_NAME_BYTES = 64
+MAX_NDIM = 16
+MAX_BODY_BYTES = 1 << 30
+
+# Message type ids. 1-15 are transport-internal, 16+ carry cluster
+# messages.
+T_HELLO = 1
+T_HEARTBEAT = 2
+T_BYE = 3
+T_GRADIENT = 16
+T_WEIGHTS = 17
+T_LOSS_SHARE = 18
+T_DKT_REQUEST = 19
+T_RCP_SHARE = 20
+T_CONTROL = 21
+
+# Documented size-parity slack vs. the simulator's wire_bytes()
+# estimates (see module docstring): the frame header plus the largest
+# body prefix, and per variable the worst case of a maximal name plus a
+# maximal shape against the flat VARIABLE_HEADER_BYTES estimate.
+SIZE_SLACK_FIXED = FRAME_HEADER_BYTES + 13
+SIZE_SLACK_PER_VAR = MAX_NAME_BYTES + 4 * MAX_NDIM
+
+_GRAD_PREFIX = struct.Struct("<IIIBI")  # sender, iteration, lbs, kind, n_vars
+_WEIGHT_PREFIX = struct.Struct("<III")  # sender, iteration, n_vars
+_NAME_LEN = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_LOSS_SHARE = struct.Struct("<IId")  # sender, iteration, avg_loss
+_DKT_REQUEST = struct.Struct("<II")  # sender, iteration
+_RCP_SHARE = struct.Struct("<Id")  # sender, rcp
+_CONTROL_PREFIX = struct.Struct("<IHI")  # sender, kind_len, payload_len
+_HELLO = struct.Struct("<IB")  # sender, channel
+_HEARTBEAT = struct.Struct("<IQd")  # sender, samples_drawn, sim time
+_BYE = struct.Struct("<I")  # sender
+
+
+class CodecError(ValueError):
+    """Raised for malformed frames, unknown types, or limit violations."""
+
+
+@dataclass(frozen=True)
+class Hello:
+    """Transport handshake: who is connecting, and on which channel."""
+
+    sender: int
+    channel: int
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Liveness + progress beacon (control channel, periodic)."""
+
+    sender: int
+    samples_drawn: int
+    time: float
+
+
+@dataclass(frozen=True)
+class Bye:
+    """Graceful-shutdown notice: silence from me is not a failure."""
+
+    sender: int
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+def _encode_name(name: str) -> bytes:
+    raw = name.encode("utf-8")
+    if len(raw) > MAX_NAME_BYTES:
+        raise CodecError(f"variable name too long ({len(raw)} > {MAX_NAME_BYTES}): {name!r}")
+    return _NAME_LEN.pack(len(raw)) + raw
+
+
+def _encode_sparse_vars(payload) -> list[bytes]:
+    parts = []
+    for name, (idx, vals) in payload.items():
+        idx = np.asarray(idx)
+        vals = np.asarray(vals)
+        if idx.shape != vals.shape or idx.ndim != 1:
+            raise CodecError(f"sparse variable {name!r}: need aligned 1-D index/value arrays")
+        parts.append(_encode_name(name))
+        parts.append(_U32.pack(idx.size))
+        parts.append(np.ascontiguousarray(idx, dtype="<u4").tobytes())
+        parts.append(np.ascontiguousarray(vals, dtype="<f4").tobytes())
+    return parts
+
+
+def _encode_dense_vars(payload) -> list[bytes]:
+    parts = []
+    for name, arr in payload.items():
+        arr = np.asarray(arr)
+        if arr.ndim > MAX_NDIM:
+            raise CodecError(f"dense variable {name!r}: ndim {arr.ndim} > {MAX_NDIM}")
+        parts.append(_encode_name(name))
+        parts.append(struct.pack("<B", arr.ndim))
+        parts.append(struct.pack(f"<{arr.ndim}I", *arr.shape))
+        parts.append(np.ascontiguousarray(arr, dtype="<f4").tobytes())
+    return parts
+
+
+def _frame(msg_type: int, body: bytes, *, pad_to: int = 0) -> bytes:
+    if pad_to:
+        deficit = pad_to - (FRAME_HEADER_BYTES + len(body))
+        if deficit > 0:
+            body = body + b"\x00" * deficit
+    if len(body) > MAX_BODY_BYTES:
+        raise CodecError(f"body too large: {len(body)} bytes")
+    return FRAME_HEADER.pack(MAGIC, VERSION, msg_type, len(body)) + body
+
+
+def encode_message(msg) -> bytes:
+    """Serialize a cluster or transport message into one wire frame."""
+    if isinstance(msg, GradientMessage):
+        if msg.sparse is not None:
+            prefix = _GRAD_PREFIX.pack(msg.sender, msg.iteration, msg.lbs, 0, len(msg.sparse))
+            parts = _encode_sparse_vars(msg.sparse)
+        else:
+            prefix = _GRAD_PREFIX.pack(msg.sender, msg.iteration, msg.lbs, 1, len(msg.dense))
+            parts = _encode_dense_vars(msg.dense)
+        return _frame(T_GRADIENT, prefix + b"".join(parts))
+    if isinstance(msg, WeightMessage):
+        prefix = _WEIGHT_PREFIX.pack(msg.sender, msg.iteration, len(msg.weights))
+        return _frame(T_WEIGHTS, prefix + b"".join(_encode_dense_vars(msg.weights)))
+    if isinstance(msg, LossShareMessage):
+        body = _LOSS_SHARE.pack(msg.sender, msg.iteration, msg.avg_loss)
+        return _frame(T_LOSS_SHARE, body, pad_to=CONTROL_MESSAGE_BYTES)
+    if isinstance(msg, DktRequestMessage):
+        body = _DKT_REQUEST.pack(msg.sender, msg.iteration)
+        return _frame(T_DKT_REQUEST, body, pad_to=CONTROL_MESSAGE_BYTES)
+    if isinstance(msg, RcpShareMessage):
+        body = _RCP_SHARE.pack(msg.sender, msg.rcp)
+        return _frame(T_RCP_SHARE, body, pad_to=CONTROL_MESSAGE_BYTES)
+    if isinstance(msg, ControlMessage):
+        kind = msg.kind.encode("utf-8")
+        payload = json.dumps(msg.payload, sort_keys=True).encode("utf-8")
+        if len(kind) > 0xFFFF:
+            raise CodecError("control kind too long")
+        body = _CONTROL_PREFIX.pack(msg.sender, len(kind), len(payload)) + kind + payload
+        return _frame(T_CONTROL, body, pad_to=CONTROL_MESSAGE_BYTES)
+    if isinstance(msg, Hello):
+        return _frame(T_HELLO, _HELLO.pack(msg.sender, msg.channel), pad_to=CONTROL_MESSAGE_BYTES)
+    if isinstance(msg, Heartbeat):
+        body = _HEARTBEAT.pack(msg.sender, msg.samples_drawn, msg.time)
+        return _frame(T_HEARTBEAT, body, pad_to=CONTROL_MESSAGE_BYTES)
+    if isinstance(msg, Bye):
+        return _frame(T_BYE, _BYE.pack(msg.sender), pad_to=CONTROL_MESSAGE_BYTES)
+    raise CodecError(f"cannot encode {type(msg).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+def _take(body: bytes, offset: int, n: int) -> tuple[bytes, int]:
+    end = offset + n
+    if end > len(body):
+        raise CodecError(f"truncated body: wanted {n} bytes at offset {offset}")
+    return body[offset:end], end
+
+
+def _decode_name(body: bytes, offset: int) -> tuple[str, int]:
+    raw, offset = _take(body, offset, _NAME_LEN.size)
+    (n,) = _NAME_LEN.unpack(raw)
+    if n > MAX_NAME_BYTES:
+        raise CodecError(f"variable name too long on wire: {n}")
+    raw, offset = _take(body, offset, n)
+    return raw.decode("utf-8"), offset
+
+
+def _decode_sparse_vars(body: bytes, offset: int, n_vars: int) -> dict:
+    out: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for _ in range(n_vars):
+        name, offset = _decode_name(body, offset)
+        raw, offset = _take(body, offset, _U32.size)
+        (count,) = _U32.unpack(raw)
+        raw, offset = _take(body, offset, 4 * count)
+        idx = np.frombuffer(raw, dtype="<u4").astype(np.int64)
+        raw, offset = _take(body, offset, 4 * count)
+        vals = np.frombuffer(raw, dtype="<f4").astype(np.float32)
+        out[name] = (idx, vals)
+    return out
+
+
+def _decode_dense_vars(body: bytes, offset: int, n_vars: int) -> dict:
+    out: dict[str, np.ndarray] = {}
+    for _ in range(n_vars):
+        name, offset = _decode_name(body, offset)
+        raw, offset = _take(body, offset, 1)
+        ndim = raw[0]
+        if ndim > MAX_NDIM:
+            raise CodecError(f"ndim too large on wire: {ndim}")
+        raw, offset = _take(body, offset, 4 * ndim)
+        shape = struct.unpack(f"<{ndim}I", raw)
+        count = 1
+        for d in shape:
+            count *= d
+        raw, offset = _take(body, offset, 4 * count)
+        out[name] = np.frombuffer(raw, dtype="<f4").astype(np.float32).reshape(shape)
+    return out
+
+
+def _decode_gradient(body: bytes):
+    sender, iteration, lbs, kind, n_vars = _GRAD_PREFIX.unpack_from(body)
+    offset = _GRAD_PREFIX.size
+    if kind == 0:
+        return GradientMessage(
+            sender=sender, iteration=iteration, lbs=lbs,
+            sparse=_decode_sparse_vars(body, offset, n_vars),
+        )
+    return GradientMessage(
+        sender=sender, iteration=iteration, lbs=lbs,
+        dense=_decode_dense_vars(body, offset, n_vars),
+    )
+
+
+def _decode_weights(body: bytes):
+    sender, iteration, n_vars = _WEIGHT_PREFIX.unpack_from(body)
+    return WeightMessage(
+        sender=sender, iteration=iteration,
+        weights=_decode_dense_vars(body, _WEIGHT_PREFIX.size, n_vars),
+    )
+
+
+def _decode_control(body: bytes):
+    sender, kind_len, payload_len = _CONTROL_PREFIX.unpack_from(body)
+    offset = _CONTROL_PREFIX.size
+    raw, offset = _take(body, offset, kind_len)
+    kind = raw.decode("utf-8")
+    raw, offset = _take(body, offset, payload_len)
+    return ControlMessage(sender=sender, kind=kind, payload=json.loads(raw))
+
+
+_DECODERS = {
+    T_GRADIENT: _decode_gradient,
+    T_WEIGHTS: _decode_weights,
+    T_LOSS_SHARE: lambda b: LossShareMessage(*_LOSS_SHARE.unpack_from(b)),
+    T_DKT_REQUEST: lambda b: DktRequestMessage(*_DKT_REQUEST.unpack_from(b)),
+    T_RCP_SHARE: lambda b: RcpShareMessage(*_RCP_SHARE.unpack_from(b)),
+    T_CONTROL: _decode_control,
+    T_HELLO: lambda b: Hello(*_HELLO.unpack_from(b)),
+    T_HEARTBEAT: lambda b: Heartbeat(*_HEARTBEAT.unpack_from(b)),
+    T_BYE: lambda b: Bye(*_BYE.unpack_from(b)),
+}
+
+
+def decode_body(msg_type: int, body: bytes):
+    """Decode one frame body given its header's message type."""
+    decoder = _DECODERS.get(msg_type)
+    if decoder is None:
+        raise CodecError(f"unknown message type {msg_type}")
+    try:
+        return decoder(body)
+    except (struct.error, UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CodecError(f"malformed body for type {msg_type}: {exc}") from exc
+
+
+def decode_frame_header(header: bytes) -> tuple[int, int]:
+    """Validate an 8-byte frame header; returns ``(msg_type, body_len)``."""
+    if len(header) != FRAME_HEADER_BYTES:
+        raise CodecError(f"short header: {len(header)} bytes")
+    magic, version, msg_type, body_len = FRAME_HEADER.unpack(header)
+    if magic != MAGIC:
+        raise CodecError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise CodecError(f"unsupported codec version {version}")
+    if body_len > MAX_BODY_BYTES:
+        raise CodecError(f"body length {body_len} exceeds limit")
+    return msg_type, body_len
+
+
+def decode_message(frame: bytes):
+    """Deserialize one complete wire frame back into its message."""
+    msg_type, body_len = decode_frame_header(frame[:FRAME_HEADER_BYTES])
+    body = frame[FRAME_HEADER_BYTES:]
+    if len(body) != body_len:
+        raise CodecError(f"frame length mismatch: header says {body_len}, got {len(body)}")
+    return decode_body(msg_type, body)
+
+
+def size_slack(n_vars: int) -> int:
+    """The documented bound on ``|len(encode_message(m)) - m.wire_bytes()|``.
+
+    ``n_vars`` is the number of weight variables the message carries
+    (0 for control messages, whose frames match the estimate exactly).
+    """
+    return SIZE_SLACK_FIXED + n_vars * SIZE_SLACK_PER_VAR

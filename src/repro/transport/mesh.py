@@ -1,0 +1,499 @@
+"""Asyncio TCP peer mesh with control/data channels per peer.
+
+The prototype gives every worker pair two Redis queues — a control
+queue for signalling and a data queue for gradients and weights (paper
+§4.2). The live backend mirrors that: each worker runs one
+:class:`PeerMesh` that listens on a loopback/LAN TCP port and opens two
+outgoing connections (``CHANNEL_CONTROL``, ``CHANNEL_DATA``) to every
+peer, identified by a :class:`~repro.transport.codec.Hello` handshake.
+
+Reliability mechanics:
+
+* **connect/retry** — outgoing connections (re)connect with exponential
+  backoff plus jitter, bounded by a per-episode attempt budget;
+* **per-message timeouts** — every write is bounded by
+  ``send_timeout_s``; a timeout tears the connection down and re-enters
+  the retry path;
+* **heartbeats** — a periodic beacon on every control channel carries
+  liveness plus the sender's training progress (the live GBS
+  controller's input);
+* **dead peers** — once a reconnect episode exhausts its budget the
+  peer is declared dead and surfaced through ``on_peer_dead`` — the
+  runtime turns that into a membership change
+  (:meth:`repro.core.worker.Worker.on_membership_change`), exactly like
+  the simulator's churn events. A peer that announced
+  :class:`~repro.transport.codec.Bye` first is treated as a graceful
+  departure and produces no callback.
+
+Outgoing bytes pass through a per-peer :class:`TokenBucket` so the
+modelled link bandwidth (Table 3, wire-scaled, sped up by the run's
+wall-clock factor) is enforced on the real socket. Transfers are
+recorded through the shared ``obs`` surfaces: ``transport_*`` metric
+families, ``transport/connect`` / ``transport/send_bytes`` profiler
+scopes, and per-transfer spans on the worker's ``net-out`` trace
+thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass
+from typing import Awaitable, Callable, Mapping
+
+from repro.obs import profile as _profile
+from repro.obs.trace import NULL_TRACER, TID_NET
+from repro.transport.codec import (
+    Bye,
+    CodecError,
+    FRAME_HEADER_BYTES,
+    Heartbeat,
+    Hello,
+    decode_body,
+    decode_frame_header,
+    encode_message,
+)
+from repro.transport.shaper import TokenBucket
+
+__all__ = ["CHANNEL_CONTROL", "CHANNEL_DATA", "CHANNEL_NAMES", "TransportConfig", "PeerMesh"]
+
+CHANNEL_CONTROL = 0
+CHANNEL_DATA = 1
+CHANNEL_NAMES = {CHANNEL_CONTROL: "control", CHANNEL_DATA: "data"}
+
+_CLOSE = object()  # sender-task shutdown sentinel
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """Tunables for the live transport (timeouts, retries, heartbeats)."""
+
+    connect_timeout_s: float = 5.0
+    send_timeout_s: float = 10.0
+    retry_base_s: float = 0.05
+    retry_max_s: float = 1.0
+    retry_attempts: int = 6
+    heartbeat_interval_s: float = 0.2
+    outbox_capacity: int = 4096
+    shape_bandwidth: bool = True
+
+    def __post_init__(self) -> None:
+        if min(self.connect_timeout_s, self.send_timeout_s, self.retry_base_s,
+               self.retry_max_s, self.heartbeat_interval_s) <= 0:
+            raise ValueError("transport timeouts must be positive")
+        if self.retry_attempts < 1:
+            raise ValueError("retry_attempts must be >= 1")
+        if self.outbox_capacity < 1:
+            raise ValueError("outbox_capacity must be >= 1")
+
+
+class _OutLink:
+    """One outgoing (peer, channel) connection with its FIFO outbox."""
+
+    __slots__ = ("dst", "channel", "queue", "writer", "task", "addr")
+
+    def __init__(self, dst: int, channel: int, capacity: int):
+        self.dst = dst
+        self.channel = channel
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=capacity)
+        self.writer: asyncio.StreamWriter | None = None
+        self.task: asyncio.Task | None = None
+        self.addr: tuple[str, int] | None = None
+
+
+class PeerMesh:
+    """One worker's live transport endpoint (server + outgoing links)."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        *,
+        on_message: Callable[[int, int, object], None],
+        on_peer_dead: Callable[[int], None] | None = None,
+        on_error: Callable[[BaseException], None] | None = None,
+        on_heartbeat: Callable[[Heartbeat], None] | None = None,
+        rate_fn: Callable[[int], float] | None = None,
+        config: TransportConfig | None = None,
+        metrics=None,
+        tracer=NULL_TRACER,
+        now_fn: Callable[[], float] | None = None,
+        progress_fn: Callable[[], int] | None = None,
+        seed: int = 0,
+        host: str = "127.0.0.1",
+    ):
+        self.worker_id = worker_id
+        self.host = host
+        self.cfg = config if config is not None else TransportConfig()
+        self._on_message = on_message
+        self._on_peer_dead = on_peer_dead
+        self._on_error = on_error
+        self._on_heartbeat = on_heartbeat
+        self._rate_fn = rate_fn
+        self._now_fn = now_fn
+        self._progress_fn = progress_fn
+        self.tracer = tracer
+        self._rng = random.Random(seed * 7919 + worker_id)
+
+        self._server: asyncio.AbstractServer | None = None
+        self._out: dict[tuple[int, int], _OutLink] = {}
+        self._buckets: dict[int, TokenBucket] = {}
+        self._dead: set[int] = set()
+        self._graceful: set[int] = set()
+        self._closing = False
+        self._hb_task: asyncio.Task | None = None
+        self._serve_writers: set[asyncio.StreamWriter] = set()
+        self._serve_tasks: set[asyncio.Task] = set()
+
+        # Metric families (registered only when a registry is attached,
+        # so sim-backend dumps carry no empty transport series).
+        self._m = None
+        if metrics is not None:
+            self._m = _TransportMetrics(metrics)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> int:
+        """Bind the listening socket; returns the bound TCP port."""
+        self._server = await asyncio.start_server(self._serve, self.host, 0)
+        return self._server.sockets[0].getsockname()[1]
+
+    async def connect(self, port_map: Mapping[int, tuple[str, int]]) -> None:
+        """Open control+data links to every peer and start heartbeats.
+
+        ``port_map`` maps worker id to ``(host, port)``; this worker's
+        own entry is ignored. Blocks until every link's first connection
+        succeeds (or a peer exhausts its retry budget and is declared
+        dead).
+        """
+        waits: list[Awaitable] = []
+        for dst, addr in sorted(port_map.items()):
+            if dst == self.worker_id:
+                continue
+            if self._rate_fn is not None and self.cfg.shape_bandwidth:
+                self._buckets[dst] = TokenBucket(max(1.0, self._rate_fn(dst)))
+            for channel in (CHANNEL_CONTROL, CHANNEL_DATA):
+                link = _OutLink(dst, channel, self.cfg.outbox_capacity)
+                link.addr = tuple(addr)
+                self._out[(dst, channel)] = link
+                waits.append(self._ensure_connected(link))
+        results = await asyncio.gather(*waits)
+        for link in self._out.values():
+            link.task = asyncio.ensure_future(self._sender(link))
+            link.task.add_done_callback(self._task_done)
+        if self._progress_fn is not None:
+            self._hb_task = asyncio.ensure_future(self._heartbeat_loop())
+            self._hb_task.add_done_callback(self._task_done)
+        if not all(results):
+            # Dead peers were already declared inside _ensure_connected.
+            pass
+
+    async def close(self, *, bye: bool = True, drain_timeout_s: float = 2.0) -> None:
+        """Flush outboxes, announce departure, and tear everything down."""
+        if bye:
+            for dst in self.live_peers():
+                self.send(dst, CHANNEL_CONTROL, Bye(self.worker_id))
+        deadline = asyncio.get_event_loop().time() + drain_timeout_s
+        for link in self._out.values():
+            while (not link.queue.empty()
+                   and link.dst not in self._dead
+                   and asyncio.get_event_loop().time() < deadline):
+                await asyncio.sleep(0.01)
+        self._closing = True
+        if self._hb_task is not None:
+            self._hb_task.cancel()
+        for link in self._out.values():
+            try:
+                link.queue.put_nowait(_CLOSE)
+            except asyncio.QueueFull:
+                pass
+        tasks = [link.task for link in self._out.values() if link.task is not None]
+        if tasks:
+            done, pending = await asyncio.wait(tasks, timeout=drain_timeout_s)
+            for t in pending:
+                t.cancel()
+        for link in self._out.values():
+            if link.writer is not None:
+                link.writer.close()
+                link.writer = None
+        for w in list(self._serve_writers):
+            w.close()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Let the per-connection reader tasks observe their closed
+        # transports and unwind; otherwise loop teardown cancels them
+        # mid-read and asyncio logs spurious CancelledError callbacks.
+        if self._serve_tasks:
+            await asyncio.wait(list(self._serve_tasks), timeout=drain_timeout_s)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, dst: int, channel: int, msg, *, trace_name: str | None = None) -> bool:
+        """Enqueue ``msg`` for ``dst`` on ``channel`` (FIFO per link).
+
+        Returns ``False`` — and counts a drop — when the peer is dead,
+        the mesh is closing, or the link's outbox is full
+        (backpressure); ``True`` means the message is queued, with
+        delivery subject to the retry budget.
+        """
+        if dst in self._dead or self._closing:
+            return False
+        frame = msg if isinstance(msg, (bytes, bytearray)) else encode_message(msg)
+        link = self._out.get((dst, channel))
+        if link is None:
+            return False
+        try:
+            link.queue.put_nowait((bytes(frame), trace_name))
+        except asyncio.QueueFull:
+            if self._m:
+                self._m.dropped.inc(1, self.worker_id, dst, CHANNEL_NAMES[channel])
+            return False
+        if self._m:
+            self._m.outbox_depth.set(
+                link.queue.qsize(), self.worker_id, dst, CHANNEL_NAMES[channel]
+            )
+        return True
+
+    def live_peers(self) -> list[int]:
+        """Peers not (yet) declared dead, in ascending id order."""
+        return sorted({dst for dst, _ in self._out} - self._dead)
+
+    def is_dead(self, peer: int) -> bool:
+        """Whether ``peer`` has been declared dead."""
+        return peer in self._dead
+
+    # ------------------------------------------------------------------
+    # Internals: outgoing side
+    # ------------------------------------------------------------------
+    async def _sender(self, link: _OutLink) -> None:
+        while True:
+            item = await link.queue.get()
+            if item is _CLOSE:
+                return
+            frame, trace_name = item
+            while True:
+                if not await self._ensure_connected(link):
+                    return  # peer dead; remaining outbox is abandoned
+                bucket = self._buckets.get(link.dst)
+                t0_sim = self._now_fn() if self._now_fn is not None else 0.0
+                if bucket is not None:
+                    if self._rate_fn is not None:
+                        bucket.set_rate(max(1.0, self._rate_fn(link.dst)))
+                    await bucket.throttle(len(frame))
+                try:
+                    with _profile.scope("transport/send_bytes"):
+                        link.writer.write(frame)
+                        await asyncio.wait_for(
+                            link.writer.drain(), self.cfg.send_timeout_s
+                        )
+                except (ConnectionError, OSError, asyncio.TimeoutError):
+                    self._drop_writer(link)
+                    continue  # re-enter the connect/retry path
+                break
+            if self._m:
+                ch = CHANNEL_NAMES[link.channel]
+                self._m.send_bytes.inc(len(frame), self.worker_id, link.dst, ch)
+                self._m.send_msgs.inc(1, self.worker_id, link.dst, ch)
+                self._m.outbox_depth.set(
+                    link.queue.qsize(), self.worker_id, link.dst, ch
+                )
+            if self.tracer.enabled and self._now_fn is not None:
+                t1_sim = self._now_fn()
+                self.tracer.complete(
+                    trace_name or f"send->{link.dst}",
+                    self.worker_id,
+                    TID_NET,
+                    t0_sim,
+                    max(t1_sim - t0_sim, 0.0),
+                    cat="net",
+                    args={"dst": link.dst, "bytes": len(frame)},
+                )
+
+    def _task_done(self, task: asyncio.Task) -> None:
+        """Surface an unexpected sender/heartbeat crash instead of a stall.
+
+        A transport task that dies with an exception would otherwise
+        leave its outbox quietly backing up forever; route the failure
+        to ``on_error`` (the live runtime fails the whole run) or
+        re-raise into the event loop's exception handler.
+        """
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is None or self._closing:
+            return
+        if self._on_error is not None:
+            self._on_error(exc)
+        else:
+            raise exc
+
+    def _drop_writer(self, link: _OutLink) -> None:
+        if link.writer is not None:
+            try:
+                link.writer.close()
+            except Exception:
+                pass
+            link.writer = None
+
+    async def _ensure_connected(self, link: _OutLink) -> bool:
+        if link.writer is not None:
+            return True
+        if link.dst in self._dead or self._closing:
+            return False
+        with _profile.scope("transport/connect"):
+            for attempt in range(self.cfg.retry_attempts):
+                if self._closing:
+                    return False
+                try:
+                    host, port = link.addr
+                    _, writer = await asyncio.wait_for(
+                        asyncio.open_connection(host, port),
+                        self.cfg.connect_timeout_s,
+                    )
+                    writer.write(encode_message(Hello(self.worker_id, link.channel)))
+                    await writer.drain()
+                    link.writer = writer
+                    if self._m:
+                        self._m.connects.inc(1, self.worker_id, link.dst)
+                    return True
+                except (ConnectionError, OSError, asyncio.TimeoutError):
+                    if self._m:
+                        self._m.retries.inc(1, self.worker_id, link.dst)
+                    # Exponential backoff with jitter.
+                    delay = min(
+                        self.cfg.retry_max_s,
+                        self.cfg.retry_base_s * (2.0 ** attempt),
+                    ) * (0.5 + self._rng.random())
+                    await asyncio.sleep(delay)
+        self._declare_dead(link.dst)
+        return False
+
+    def _declare_dead(self, peer: int) -> None:
+        if peer in self._dead:
+            return
+        self._dead.add(peer)
+        for channel in (CHANNEL_CONTROL, CHANNEL_DATA):
+            link = self._out.get((peer, channel))
+            if link is None:
+                continue
+            dropped = 0
+            while not link.queue.empty():
+                if link.queue.get_nowait() is not _CLOSE:
+                    dropped += 1
+            if dropped and self._m:
+                self._m.dropped.inc(
+                    dropped, self.worker_id, peer, CHANNEL_NAMES[channel]
+                )
+            try:
+                link.queue.put_nowait(_CLOSE)
+            except asyncio.QueueFull:
+                pass
+            self._drop_writer(link)
+        graceful = peer in self._graceful or self._closing
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "peer-dead" if not graceful else "peer-bye",
+                self.worker_id,
+                TID_NET,
+                self._now_fn() if self._now_fn is not None else 0.0,
+                cat="net",
+                args={"peer": peer},
+            )
+        if not graceful and self._on_peer_dead is not None:
+            self._on_peer_dead(peer)
+
+    # ------------------------------------------------------------------
+    # Internals: heartbeats
+    # ------------------------------------------------------------------
+    async def _heartbeat_loop(self) -> None:
+        while not self._closing:
+            await asyncio.sleep(self.cfg.heartbeat_interval_s)
+            sim_now = self._now_fn() if self._now_fn is not None else 0.0
+            hb = Heartbeat(self.worker_id, int(self._progress_fn()), sim_now)
+            for dst in self.live_peers():
+                self.send(dst, CHANNEL_CONTROL, hb)
+            if self._m:
+                self._m.heartbeats.inc(1, self.worker_id)
+
+    # ------------------------------------------------------------------
+    # Internals: incoming side
+    # ------------------------------------------------------------------
+    async def _read_frame(self, reader: asyncio.StreamReader):
+        header = await reader.readexactly(FRAME_HEADER_BYTES)
+        msg_type, body_len = decode_frame_header(header)
+        body = await reader.readexactly(body_len)
+        return decode_body(msg_type, body)
+
+    async def _serve(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._serve_tasks.add(task)
+        self._serve_writers.add(writer)
+        peer = channel = None
+        try:
+            hello = await self._read_frame(reader)
+            if not isinstance(hello, Hello):
+                return
+            peer, channel = hello.sender, hello.channel
+            while True:
+                msg = await self._read_frame(reader)
+                if isinstance(msg, Heartbeat):
+                    if self._on_heartbeat is not None:
+                        self._on_heartbeat(msg)
+                    continue
+                if isinstance(msg, Bye):
+                    self._graceful.add(msg.sender)
+                    continue
+                if isinstance(msg, Hello):
+                    continue
+                self._on_message(peer, channel, msg)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError, CodecError):
+            pass  # connection gone or garbage stream; outgoing side decides death
+        finally:
+            self._serve_writers.discard(writer)
+            if task is not None:
+                self._serve_tasks.discard(task)
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+
+class _TransportMetrics:
+    """The transport metric families (see docs/observability.md)."""
+
+    def __init__(self, registry):
+        self.connects = registry.counter(
+            "transport_connect_total",
+            "successful outgoing transport connections", ("worker", "peer"),
+        )
+        self.retries = registry.counter(
+            "transport_retry_total",
+            "failed connection attempts (incl. backoff retries)",
+            ("worker", "peer"),
+        )
+        self.send_bytes = registry.counter(
+            "transport_send_bytes_total",
+            "bytes actually written per directed link and channel",
+            ("src", "dst", "channel"),
+        )
+        self.send_msgs = registry.counter(
+            "transport_send_msgs_total",
+            "frames actually written per directed link and channel",
+            ("src", "dst", "channel"),
+        )
+        self.dropped = registry.counter(
+            "transport_dropped_total",
+            "frames dropped (outbox full or peer declared dead)",
+            ("src", "dst", "channel"),
+        )
+        self.heartbeats = registry.counter(
+            "transport_heartbeat_total", "heartbeat rounds sent", ("worker",)
+        )
+        self.outbox_depth = registry.gauge(
+            "transport_outbox_depth",
+            "queued frames per outgoing link",
+            ("worker", "dst", "channel"),
+        )

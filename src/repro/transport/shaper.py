@@ -1,0 +1,86 @@
+"""Per-link token-bucket bandwidth shaping for the live backend.
+
+The simulator enforces Table 3's link capacities arithmetically
+(:class:`repro.cluster.network.Link`); on real sockets a loopback
+transfer would otherwise run at memory speed and erase the WAN/LAN
+asymmetry that DLion's ``BW_net_j / Iter_com_i`` budget (§3.3) reacts
+to. A :class:`TokenBucket` paces each link's outgoing bytes at the
+link's modelled rate (times the run's wall-clock speedup), with a small
+burst allowance so framing overhead does not distort short messages.
+
+The arithmetic is factored into :meth:`TokenBucket.reserve`, a pure
+function of an injected clock, so pacing is unit-testable without
+sleeping; :meth:`TokenBucket.throttle` is the asyncio wrapper the mesh
+awaits before each write.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Callable
+
+__all__ = ["TokenBucket"]
+
+# Never let the burst drop below one typical frame, or tiny rates would
+# stall even control traffic behind rounding.
+_MIN_BURST_BYTES = 8192.0
+
+
+class TokenBucket:
+    """Classic token bucket in bytes, with a debt-based reserve.
+
+    ``reserve(n)`` debits ``n`` tokens immediately and returns how long
+    the caller must wait before the bytes may be considered sent; debt
+    (negative balance) models a transfer larger than the burst without
+    chunking loops. Average throughput converges to ``rate`` with
+    excursions bounded by ``burst``.
+    """
+
+    def __init__(
+        self,
+        rate_bytes_per_s: float,
+        burst_bytes: float | None = None,
+        *,
+        time_fn: Callable[[], float] | None = None,
+    ):
+        if rate_bytes_per_s <= 0:
+            raise ValueError("rate must be positive")
+        self._time = time_fn if time_fn is not None else time.monotonic
+        self.rate = float(rate_bytes_per_s)
+        if burst_bytes is None:
+            burst_bytes = max(_MIN_BURST_BYTES, self.rate * 0.1)
+        if burst_bytes <= 0:
+            raise ValueError("burst must be positive")
+        self.burst = float(burst_bytes)
+        self._tokens = self.burst
+        self._last = self._time()
+
+    def set_rate(self, rate_bytes_per_s: float) -> None:
+        """Adopt a new refill rate (dynamic bandwidth traces)."""
+        if rate_bytes_per_s <= 0:
+            raise ValueError("rate must be positive")
+        self._refill()
+        self.rate = float(rate_bytes_per_s)
+
+    def _refill(self) -> None:
+        now = self._time()
+        self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
+        self._last = now
+
+    def reserve(self, nbytes: int) -> float:
+        """Debit ``nbytes``; returns the seconds to wait before sending."""
+        if nbytes < 0:
+            raise ValueError("negative payload")
+        self._refill()
+        self._tokens -= float(nbytes)
+        if self._tokens >= 0:
+            return 0.0
+        return -self._tokens / self.rate
+
+    async def throttle(self, nbytes: int) -> float:
+        """Pace one send of ``nbytes``; returns the delay actually slept."""
+        delay = self.reserve(nbytes)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        return delay

@@ -34,6 +34,65 @@ class TestDegradedTrace:
         for probe in (0, 50, 150, 299):
             assert a.value_at(probe) == b.value_at(probe)
 
+    def test_overlapping_events_compound_multiplicatively(self):
+        """Two concurrent events multiply: capacity = base * f1 * f2.
+
+        The rng is scripted so the event windows are exact: event one
+        spans [10, 60) with factor 0.5, event two [30, 50) with factor
+        0.4 — so [30, 50) must sit at base * 0.5 * 0.4.
+        """
+
+        class ScriptedRng:
+            """Replays fixed exponential/uniform draws in call order."""
+
+            def __init__(self, exponentials, uniforms):
+                self._exp = iter(exponentials)
+                self._uni = iter(uniforms)
+
+            def exponential(self, scale):
+                return next(self._exp)
+
+            def uniform(self, lo, hi):
+                return next(self._uni)
+
+        # Draw order per event: arrival gap, duration, factor.
+        rng = ScriptedRng(
+            exponentials=[10.0, 50.0, 20.0, 20.0, 100.0],  # last gap ends it
+            uniforms=[0.5, 0.4],
+        )
+        t = degraded_trace(
+            100.0, rng, horizon=100.0, rate=0.05, severity=(0.2, 0.7)
+        )
+        assert t.value_at(5.0) == 100.0            # before any event
+        assert t.value_at(20.0) == pytest.approx(50.0)   # event 1 only
+        assert t.value_at(40.0) == pytest.approx(20.0)   # 100 * 0.5 * 0.4
+        assert t.value_at(55.0) == pytest.approx(50.0)   # event 2 ended
+        assert t.value_at(70.0) == 100.0           # both ended
+
+    def test_compounding_respects_floor(self):
+        class ScriptedRng:
+            """Replays fixed draws; see the compounding test above."""
+
+            def __init__(self, exponentials, uniforms):
+                self._exp = iter(exponentials)
+                self._uni = iter(uniforms)
+
+            def exponential(self, scale):
+                return next(self._exp)
+
+            def uniform(self, lo, hi):
+                return next(self._uni)
+
+        # Three fully-overlapping harsh events: 0.2^3 = 0.008 < floor.
+        rng = ScriptedRng(
+            exponentials=[1.0, 90.0, 1.0, 90.0, 1.0, 90.0, 1000.0],
+            uniforms=[0.2, 0.2, 0.2],
+        )
+        t = degraded_trace(
+            10.0, rng, horizon=100.0, rate=0.05, floor=0.05
+        )
+        assert t.value_at(50.0) == pytest.approx(0.5)  # clamped at floor*base
+
     def test_some_degradation_actually_happens(self):
         rng = np.random.default_rng(4)
         t = degraded_trace(24.0, rng, horizon=500.0, rate=0.05)

@@ -147,3 +147,75 @@ class TestCommands:
 
     def test_report_missing_file(self, capsys):
         assert main(["report", "/nonexistent/trace.json"]) == 2
+
+
+class TestRunBackendsAndWorkers:
+    """The --backend / --workers / churn-sizing surface of run."""
+
+    def test_workers_truncates_cluster(self, capsys):
+        rc = main(
+            ["run", "-e", "Homo A", "-s", "baseline", "--workers", "2",
+             "--horizon", "10"]
+        )
+        assert rc == 0
+        line = next(
+            ln for ln in capsys.readouterr().out.splitlines()
+            if ln.startswith("iterations")
+        )
+        assert line.count(",") == 1  # two workers -> two counts
+
+    def test_churn_validated_against_actual_cluster_size(self):
+        # Regression: churn entries used to be validated against a
+        # hard-coded 6-worker cluster instead of the built topology.
+        with pytest.raises(ValueError, match="out of range"):
+            main(
+                ["run", "-e", "Homo A", "--workers", "3", "--horizon", "5",
+                 "--churn", "2:4:leave"]
+            )
+
+    def test_churn_within_truncated_cluster(self, capsys):
+        rc = main(
+            ["run", "-e", "Homo A", "-s", "baseline", "--workers", "3",
+             "--horizon", "12", "--churn", "5:2:leave"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "active workers" in out
+        assert "->2" in out
+
+    def test_proc_backend_rejects_churn(self, capsys):
+        rc = main(
+            ["run", "-e", "Homo A", "--backend", "proc",
+             "--churn", "5:0:leave"]
+        )
+        assert rc == 2
+        assert "simulator feature" in capsys.readouterr().err
+
+    def test_env_file_rejects_workers(self, tmp_path, capsys):
+        import json
+
+        env_path = tmp_path / "env.json"
+        env_path.write_text(json.dumps({
+            "name": "tiny",
+            "platform": "cpu",
+            "workers": [
+                {"cores": 8, "bandwidth": 20},
+                {"cores": 8, "bandwidth": 20},
+            ],
+        }))
+        rc = main(
+            ["run", "--env-file", str(env_path), "--workers", "2",
+             "--horizon", "5"]
+        )
+        assert rc == 2
+        assert "preset environments" in capsys.readouterr().err
+
+    def test_proc_backend_smoke(self, capsys):
+        rc = main(
+            ["run", "-e", "Homo A", "-s", "baseline", "--backend", "proc",
+             "--workers", "2", "--horizon", "10", "--speedup", "10"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+        assert "iterations" in out

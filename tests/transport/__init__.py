@@ -1,0 +1,1 @@
+"""Tests for the live transport stack (codec, shaper, mesh, engine)."""

@@ -1,0 +1,174 @@
+"""Live-backend integration tests: sim/proc parity, bytes, churn.
+
+One real multi-process run (3 workers, truncated "Homo A", tiny MLP,
+speedup 5) is shared module-wide and compared against the simulator on
+the same config/topology/seed. A second run SIGKILLs a worker mid-run
+to exercise the reconnect → retry-budget → membership-change path.
+These are the acceptance criteria of the live-transport milestone.
+"""
+
+import pytest
+
+from repro.core.engine import TrainingEngine
+from repro.core.live_engine import LiveEngine
+from repro.experiments.environments import get_environment
+from repro.experiments.runner import build_config, build_topology, workload_for
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.transport.codec import size_slack
+from repro.transport.mesh import TransportConfig
+
+N_WORKERS = 3
+HORIZON = 30.0
+SPEEDUP = 5.0
+# The fast-mode MLP has three layers -> six weight variables.
+N_VARS = 6
+
+# Death detection must fit comfortably inside the horizon's wall budget.
+FAST_TRANSPORT = TransportConfig(
+    connect_timeout_s=2.0,
+    send_timeout_s=1.0,
+    retry_base_s=0.02,
+    retry_max_s=0.1,
+    retry_attempts=3,
+    heartbeat_interval_s=0.05,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    """(config, topology) for a 3-worker slice of Homo A."""
+    env = get_environment("Homo A")
+    workload = workload_for(env)
+    topo = build_topology(env, workload, n_workers=N_WORKERS)
+    return build_config("dlion", workload), topo
+
+
+@pytest.fixture(scope="module")
+def sim_result(setup):
+    config, topo = setup
+    return TrainingEngine(config, topo, seed=0).run(HORIZON)
+
+
+@pytest.fixture(scope="module")
+def live_run(setup):
+    """One full live run with tracing and metrics attached."""
+    config, topo = setup
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    engine = LiveEngine(
+        config, topo, seed=0, speedup=SPEEDUP, tracer=tracer, metrics=metrics
+    )
+    result = engine.run(HORIZON)
+    return result, tracer, metrics
+
+
+class TestParity:
+    def test_every_worker_trains(self, live_run):
+        result, _, _ = live_run
+        assert len(result.iterations) == N_WORKERS
+        assert all(n > 10 for n in result.iterations)
+
+    def test_final_accuracy_close_to_simulator(self, sim_result, live_run):
+        result, _, _ = live_run
+        live_acc = result.final_mean_accuracy()
+        sim_acc = sim_result.final_mean_accuracy()
+        assert live_acc == pytest.approx(sim_acc, abs=0.25)
+        assert live_acc > 0.25  # actually learned, not noise-level
+
+    def test_iteration_counts_same_regime(self, sim_result, live_run):
+        result, _, _ = live_run
+        # Real sockets and real numpy steps cost wall time the model
+        # doesn't charge, so live lags sim slightly; it must stay in
+        # the same regime, not collapse.
+        assert min(result.iterations) >= 0.5 * min(sim_result.iterations)
+
+    def test_cluster_series_merged(self, live_run):
+        result, _, _ = live_run
+        assert len(result.gbs) >= 1
+        assert result.active_workers.values[0] == N_WORKERS
+        assert result.epochs > 0
+
+
+class TestByteAccounting:
+    def test_estimates_and_sockets_agree_per_link(self, live_run):
+        """Wire bytes track the Max-N plan estimates within the slack.
+
+        ``grad_bytes_total`` counts the simulator-side estimates for
+        every *planned* message; ``transport_send_bytes_total`` counts
+        what the sockets actually carried. Frames still queued at the
+        horizon never hit the wire, so actually-sent can trail the
+        plan — but each sent frame is bounded by its estimate plus the
+        documented codec slack, and most planned frames must ship.
+        """
+        _, _, metrics = live_run
+        grad_b = metrics.get("grad_bytes_total")
+        grad_n = metrics.get("grad_msgs_total")
+        weight_b = metrics.get("weight_bytes_total")
+        sent_b = metrics.get("transport_send_bytes_total")
+        sent_n = metrics.get("transport_send_msgs_total")
+        links = [
+            (s, d)
+            for s in range(N_WORKERS)
+            for d in range(N_WORKERS)
+            if s != d
+        ]
+        for s, d in links:
+            est = grad_b.value(s, d) + weight_b.value(s, d)
+            planned = grad_n.value(s, d)
+            shipped = sent_n.value(s, d, "data")
+            wire = sent_b.value(s, d, "data")
+            assert planned > 0, f"link {s}->{d} planned nothing"
+            assert shipped >= 0.5 * planned, f"link {s}->{d} barely shipped"
+            assert wire <= est + size_slack(N_VARS) * shipped
+            assert wire >= 0.25 * est
+
+    def test_transport_connections_established(self, live_run):
+        _, _, metrics = live_run
+        connects = metrics.get("transport_connect_total")
+        # Every worker opens control+data to each of its 2 peers.
+        for w in range(N_WORKERS):
+            assert sum(v for k, v in connects.items() if k[0] == w) >= 4
+
+    def test_iterations_metric_matches_result(self, live_run):
+        result, _, metrics = live_run
+        iters = metrics.get("iterations_total")
+        for w in range(N_WORKERS):
+            assert iters.value(w) == result.iterations[w]
+
+
+class TestTraceMerge:
+    def test_all_workers_present_with_compute_spans(self, live_run):
+        _, tracer, _ = live_run
+        events = tracer.events()
+        pids = {e["pid"] for e in events if e.get("ph") == "X"}
+        assert {0, 1, 2} <= pids
+        computes = [
+            e for e in events
+            if e.get("ph") == "X" and e.get("name") == "compute"
+        ]
+        assert len(computes) > 3 * 10
+        names = [
+            e for e in events
+            if e.get("ph") == "M" and e.get("name") == "process_name"
+        ]
+        assert len({e["pid"] for e in names}) >= 3  # deduped, one per worker
+
+
+class TestChurn:
+    def test_killed_worker_surfaces_clean_membership_change(self, setup):
+        """SIGKILL one worker: survivors must detect the death through
+        the retry budget and fold it into ``on_membership_change`` —
+        and the run must end at the horizon, never hang."""
+        config, topo = setup
+        engine = LiveEngine(
+            config, topo, seed=0, speedup=SPEEDUP, transport=FAST_TRANSPORT
+        )
+        result = engine.run(HORIZON, chaos_kill=(0.5, 2))
+        # The victim reported nothing; the survivors kept training.
+        assert result.iterations[2] == 0
+        assert result.iterations[0] > 5
+        assert result.iterations[1] > 5
+        # Survivors recorded the 3 -> 2 membership transition.
+        assert result.active_workers.values[0] == 3
+        assert result.active_workers.values[-1] == 2

@@ -1,0 +1,226 @@
+"""PeerMesh tests: two meshes talking over real loopback sockets.
+
+Each test spins up real asyncio TCP endpoints inside ``asyncio.run``,
+so delivery, channel separation, heartbeats, graceful Bye vs. crash
+death, and outbox backpressure are exercised against actual sockets —
+no pytest-asyncio dependency, no mocks of the transport itself.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.cluster.messages import GradientMessage, LossShareMessage
+from repro.obs.metrics import MetricsRegistry
+from repro.transport.mesh import (
+    CHANNEL_CONTROL,
+    CHANNEL_DATA,
+    PeerMesh,
+    TransportConfig,
+)
+
+# Fast-failure config so death-detection tests finish in well under a
+# second instead of the production multi-second retry budget.
+FAST = TransportConfig(
+    connect_timeout_s=1.0,
+    send_timeout_s=1.0,
+    retry_base_s=0.01,
+    retry_max_s=0.05,
+    retry_attempts=3,
+    heartbeat_interval_s=0.05,
+)
+
+
+class Endpoint:
+    """One mesh plus capture lists for everything it receives."""
+
+    def __init__(self, worker_id: int, config=FAST, **kwargs):
+        self.received = []
+        self.dead = []
+        self.heartbeats = []
+        self.errors = []
+        self.mesh = PeerMesh(
+            worker_id,
+            on_message=lambda peer, ch, msg: self.received.append((peer, ch, msg)),
+            on_peer_dead=self.dead.append,
+            on_heartbeat=self.heartbeats.append,
+            on_error=self.errors.append,
+            config=config,
+            **kwargs,
+        )
+
+
+async def _start_pair(a: Endpoint, b: Endpoint):
+    ports = {0: ("127.0.0.1", await a.mesh.start()),
+             1: ("127.0.0.1", await b.mesh.start())}
+    await asyncio.gather(a.mesh.connect(ports), b.mesh.connect(ports))
+
+
+async def _wait_for(predicate, timeout_s: float = 5.0):
+    deadline = asyncio.get_event_loop().time() + timeout_s
+    while not predicate():
+        if asyncio.get_event_loop().time() > deadline:
+            raise AssertionError("condition not reached in time")
+        await asyncio.sleep(0.01)
+
+
+def _grad(sender: int, iteration: int) -> GradientMessage:
+    return GradientMessage(
+        sender=sender,
+        iteration=iteration,
+        lbs=32,
+        sparse={"w": (np.arange(4, dtype=np.int64),
+                      np.full(4, float(iteration), dtype=np.float32))},
+    )
+
+
+class TestDelivery:
+    def test_messages_arrive_on_their_channels(self):
+        async def run():
+            a, b = Endpoint(0), Endpoint(1)
+            try:
+                await _start_pair(a, b)
+                assert a.mesh.send(1, CHANNEL_DATA, _grad(0, 3))
+                assert a.mesh.send(
+                    1, CHANNEL_CONTROL,
+                    LossShareMessage(sender=0, iteration=3, avg_loss=1.5),
+                )
+                await _wait_for(lambda: len(b.received) == 2)
+            finally:
+                await asyncio.gather(a.mesh.close(), b.mesh.close())
+            by_channel = {ch: msg for _, ch, msg in b.received}
+            assert isinstance(by_channel[CHANNEL_DATA], GradientMessage)
+            assert isinstance(by_channel[CHANNEL_CONTROL], LossShareMessage)
+            assert all(peer == 0 for peer, _, _ in b.received)
+            assert not a.errors and not b.errors
+
+        asyncio.run(run())
+
+    def test_fifo_order_per_link(self):
+        async def run():
+            a, b = Endpoint(0), Endpoint(1)
+            try:
+                await _start_pair(a, b)
+                for i in range(20):
+                    assert a.mesh.send(1, CHANNEL_DATA, _grad(0, i))
+                await _wait_for(lambda: len(b.received) == 20)
+            finally:
+                await asyncio.gather(a.mesh.close(), b.mesh.close())
+            assert [msg.iteration for _, _, msg in b.received] == list(range(20))
+
+        asyncio.run(run())
+
+    def test_heartbeats_carry_progress(self):
+        async def run():
+            a = Endpoint(0, progress_fn=lambda: 1234, now_fn=lambda: 9.0)
+            b = Endpoint(1)
+            try:
+                await _start_pair(a, b)
+                await _wait_for(lambda: len(b.heartbeats) >= 2)
+            finally:
+                await asyncio.gather(a.mesh.close(), b.mesh.close())
+            hb = b.heartbeats[0]
+            assert (hb.sender, hb.samples_drawn, hb.time) == (0, 1234, 9.0)
+
+        asyncio.run(run())
+
+
+class TestDeath:
+    def test_graceful_bye_suppresses_dead_callback(self):
+        async def run():
+            a, b = Endpoint(0), Endpoint(1)
+            await _start_pair(a, b)
+            await a.mesh.close(bye=True)
+
+            # B keeps trying to talk to the departed peer until the
+            # retry budget declares it dead — gracefully, thanks to Bye.
+            async def until_dead():
+                while not b.mesh.is_dead(0):
+                    b.mesh.send(0, CHANNEL_CONTROL,
+                                LossShareMessage(sender=1, iteration=0,
+                                                 avg_loss=0.0))
+                    await asyncio.sleep(0.02)
+
+            await asyncio.wait_for(until_dead(), 10.0)
+            await b.mesh.close()
+            assert b.dead == []  # Bye means: not a failure
+            assert 0 not in b.mesh.live_peers()
+
+        asyncio.run(run())
+
+    def test_crash_fires_dead_callback_after_retries(self):
+        async def run():
+            a, b = Endpoint(0), Endpoint(1)
+            await _start_pair(a, b)
+            # Simulated crash: A vanishes without announcing Bye.
+            await a.mesh.close(bye=False)
+
+            async def until_dead():
+                while not b.mesh.is_dead(0):
+                    b.mesh.send(0, CHANNEL_DATA, _grad(1, 0))
+                    await asyncio.sleep(0.02)
+
+            await asyncio.wait_for(until_dead(), 10.0)
+            await b.mesh.close()
+            assert b.dead == [0]
+            assert b.mesh.live_peers() == []
+
+        asyncio.run(run())
+
+    def test_send_to_dead_or_unknown_peer_returns_false(self):
+        async def run():
+            a = Endpoint(0)
+            await a.mesh.start()
+            # Never connected: unknown link.
+            assert not a.mesh.send(7, CHANNEL_DATA, _grad(0, 0))
+            await a.mesh.close()
+
+        asyncio.run(run())
+
+
+class TestBackpressure:
+    def test_full_outbox_drops_and_counts(self):
+        async def run():
+            registry = MetricsRegistry()
+            cfg = TransportConfig(
+                connect_timeout_s=1.0,
+                send_timeout_s=5.0,
+                retry_base_s=0.01,
+                retry_max_s=0.05,
+                retry_attempts=3,
+                heartbeat_interval_s=5.0,
+                outbox_capacity=1,
+            )
+            # A link throttled to ~1 B/s: the first big frame exhausts
+            # the burst and parks the sender, so the outbox backs up.
+            big = GradientMessage(
+                sender=0, iteration=0, lbs=32,
+                dense={"w": np.ones(8192, dtype=np.float32)},
+            )
+            a = Endpoint(0, config=cfg, metrics=registry,
+                         rate_fn=lambda dst: 1.0)
+            b = Endpoint(1, config=cfg)
+            await _start_pair(a, b)
+            assert a.mesh.send(1, CHANNEL_DATA, big)
+            await asyncio.sleep(0.1)  # sender picks up frame 1, throttles
+            assert a.mesh.send(1, CHANNEL_DATA, big)  # queued (capacity 1)
+            assert not a.mesh.send(1, CHANNEL_DATA, big)  # dropped
+            dropped = registry.get("transport_dropped_total")
+            assert dropped.value(0, 1, "data") == 1.0
+            await asyncio.gather(
+                a.mesh.close(bye=False, drain_timeout_s=0.1),
+                b.mesh.close(bye=False, drain_timeout_s=0.1),
+            )
+
+        asyncio.run(run())
+
+
+class TestConfigValidation:
+    def test_bad_timeouts_rejected(self):
+        with pytest.raises(ValueError):
+            TransportConfig(send_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            TransportConfig(retry_attempts=0)
+        with pytest.raises(ValueError):
+            TransportConfig(outbox_capacity=0)

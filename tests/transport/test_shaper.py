@@ -1,0 +1,100 @@
+"""Token-bucket shaper tests against an injected fake clock.
+
+``reserve`` is a pure function of the injected ``time_fn``, so the
+pacing arithmetic (debt, refill, burst cap, rate changes) is testable
+without sleeping.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.transport.shaper import TokenBucket
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+class TestReserve:
+    def test_within_burst_is_free(self):
+        clock = FakeClock()
+        b = TokenBucket(100.0, 50.0, time_fn=clock)
+        assert b.reserve(30) == 0.0
+        assert b.reserve(20) == 0.0
+
+    def test_debt_waits_proportionally_to_rate(self):
+        clock = FakeClock()
+        b = TokenBucket(100.0, 50.0, time_fn=clock)
+        # 70 bytes against a 50-byte burst: 20 bytes of debt at 100 B/s.
+        assert b.reserve(70) == pytest.approx(0.2)
+
+    def test_refill_restores_tokens_over_time(self):
+        clock = FakeClock()
+        b = TokenBucket(100.0, 50.0, time_fn=clock)
+        assert b.reserve(70) == pytest.approx(0.2)
+        clock.t += 0.2  # exactly pays the debt back
+        assert b.reserve(10) == pytest.approx(0.1)
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        b = TokenBucket(100.0, 50.0, time_fn=clock)
+        clock.t += 1000.0
+        # Long idle must not bank more than one burst of credit.
+        assert b.reserve(50) == 0.0
+        assert b.reserve(100) == pytest.approx(1.0)
+
+    def test_average_rate_converges(self):
+        clock = FakeClock()
+        b = TokenBucket(1000.0, 100.0, time_fn=clock)
+        total_wait = 0.0
+        for _ in range(100):
+            wait = b.reserve(100)
+            total_wait += wait
+            clock.t += wait
+        # 10_000 bytes at 1000 B/s with a 100-byte burst: ~9.9 s total.
+        assert total_wait == pytest.approx(9.9, rel=0.05)
+
+    def test_set_rate_refills_at_old_rate_first(self):
+        clock = FakeClock()
+        b = TokenBucket(100.0, 50.0, time_fn=clock)
+        b.reserve(50)  # empty the bucket at t=0
+        clock.t += 1.0  # 100 tokens accrue at the OLD rate, capped at 50
+        b.set_rate(1.0)
+        # Burst restored by the old rate; further debt repaid at 1 B/s.
+        assert b.reserve(51) == pytest.approx(1.0)
+
+    def test_default_burst_floor(self):
+        b = TokenBucket(1.0, time_fn=FakeClock())
+        # Tiny rates still pass one typical frame without stalling.
+        assert b.reserve(8192) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(10.0, -1.0)
+        b = TokenBucket(10.0)
+        with pytest.raises(ValueError):
+            b.set_rate(0.0)
+        with pytest.raises(ValueError):
+            b.reserve(-1)
+
+
+class TestThrottle:
+    def test_throttle_sleeps_the_reserve_delay(self):
+        async def run():
+            clock = FakeClock()
+            b = TokenBucket(1e9, 100.0, time_fn=clock)
+            # Within burst: no sleep.
+            assert await b.throttle(50) == 0.0
+            # Beyond burst: positive (tiny, rate is huge) sleep.
+            assert await b.throttle(1000) > 0.0
+
+        asyncio.run(run())
