@@ -1,0 +1,185 @@
+"""Training-step benchmark: workspace buffers and the parallel compute stage.
+
+Two measurements around this PR's hot path:
+
+* ``test_workspace_step_throughput`` — one model's ``loss_and_grads`` +
+  ``apply_grads`` loop with the workspace (buffer-reuse) path on vs the
+  historical allocating path (``workspace.disabled()``).
+* ``test_compute_threads_sim`` — a full Homo B simulation at
+  ``compute_threads`` 1 vs 4, recording wall-clock, the ``nn/*``
+  profile scopes, and the speculation hit rate; it also re-checks that
+  both runs produce identical training trajectories.
+
+Numbers are recorded to ``BENCH_compute.json`` at the repo root
+(best-of-3 in full mode). CI runs this file in smoke mode
+(``REPRO_BENCH_SMOKE=1``): tiny sizes, one rep, wall-clock assertions
+skipped — correctness checks (trajectory identity) always run.
+
+Honesty note: thread speedup depends on the machine. On a single-core
+box the 4-thread run cannot beat serial (the JSON records whatever the
+hardware gives); the determinism contract means the numbers are safe to
+collect anywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.experiments.runner import (
+    RunSpec,
+    build_config,
+    build_topology,
+    get_environment,
+    workload_for,
+)
+from repro.core.engine import TrainingEngine
+from repro.nn import workspace
+from repro.nn.models import build_model
+from repro.obs.profile import Profiler, activate
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_compute.json"
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+REPS = 1 if SMOKE else 3
+
+
+def _best_of(fn, reps: int = REPS) -> float:
+    """Best wall-clock of ``reps`` timed calls after one warm-up."""
+    fn()
+    times = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def _record(section: str, payload: dict) -> None:
+    """Merge one section into BENCH_compute.json at the repo root."""
+    data = {}
+    if RESULT_PATH.exists():
+        data = json.loads(RESULT_PATH.read_text())
+    data[section] = payload
+    data["smoke"] = SMOKE
+    RESULT_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def test_workspace_step_throughput():
+    """Buffer-reuse vs allocating path on a bare training-step loop."""
+    if SMOKE:
+        kwargs, batch, steps = {"in_dim": 576, "hidden": (16,)}, 8, 3
+    else:
+        kwargs, batch, steps = {"in_dim": 576, "hidden": (128, 64)}, 32, 40
+    rng = np.random.default_rng(0)
+    xb = rng.standard_normal(size=(batch, kwargs["in_dim"])).astype(np.float32)
+    yb = rng.integers(0, 10, size=batch)
+
+    def loop_with(model):
+        def run():
+            for _ in range(steps):
+                _, grads = model.loss_and_grads(xb, yb)
+                model.apply_grads(grads, lr=0.05)
+
+        return run
+
+    model_ws = build_model("mlp", np.random.default_rng(7), **kwargs)
+    t_ws = _best_of(loop_with(model_ws))
+    with workspace.disabled():
+        model_alloc = build_model("mlp", np.random.default_rng(7), **kwargs)
+        t_alloc = _best_of(loop_with(model_alloc))
+
+    payload = {
+        "model": {"name": "mlp", **{k: list(v) if isinstance(v, tuple) else v
+                                    for k, v in kwargs.items()}},
+        "batch": batch,
+        "steps_per_rep": steps,
+        "reps": REPS,
+        "workspace_on_s": t_ws,
+        "workspace_off_s": t_alloc,
+        "step_ms_on": t_ws / steps * 1e3,
+        "step_ms_off": t_alloc / steps * 1e3,
+        "speedup_on_vs_off": t_alloc / t_ws,
+    }
+    _record("workspace_step", payload)
+    print(
+        f"\nworkspace on {payload['step_ms_on']:.3f} ms/step, "
+        f"off {payload['step_ms_off']:.3f} ms/step "
+        f"({payload['speedup_on_vs_off']:.2f}x)"
+    )
+    if not SMOKE:
+        # The reuse path must never *cost* throughput (generous jitter slack).
+        assert t_ws <= 1.25 * t_alloc, payload
+
+
+def _run_profiled(threads: int, horizon: float):
+    spec = RunSpec(environment="Homo B", system="dlion", seed=0)
+    env = get_environment(spec.environment)
+    workload = workload_for(env)
+    config = build_config(spec.system, workload)
+    topo = build_topology(env, workload)
+    prof = Profiler()
+    engine = TrainingEngine(
+        config, topo, seed=spec.seed, profiler=prof, compute_threads=threads
+    )
+    t0 = time.perf_counter()
+    with activate(prof):
+        result = engine.run(horizon)
+    wall = time.perf_counter() - t0
+    scopes = {
+        name: {"calls": calls, "total_s": total}
+        for name, (calls, total) in prof.totals().items()
+        if name in ("nn/loss_and_grads", "nn/forward", "nn/backward",
+                    "engine/compute_pool", "simclock/dispatch")
+    }
+    pool = engine.compute_pool
+    return result, wall, scopes, (pool.hits, pool.misses, pool.discards)
+
+
+def test_compute_threads_sim():
+    """Full Homo B run, serial vs 4 compute threads: wall-clock + identity."""
+    horizon = 10.0 if SMOKE else 80.0
+    runs = {}
+    for threads in (1, 4):
+        best = None
+        for _ in range(REPS):
+            result, wall, scopes, counters = _run_profiled(threads, horizon)
+            if best is None or wall < best[1]:
+                best = (result, wall, scopes, counters)
+        runs[threads] = best
+
+    (r1, w1, s1, _), (r4, w4, s4, c4) = runs[1], runs[4]
+    # Determinism contract: identical trajectory regardless of threads.
+    assert r1.iterations == r4.iterations
+    assert r1.epochs == r4.epochs
+    assert [s.values[-1] for s in r1.accuracy] == [s.values[-1] for s in r4.accuracy]
+
+    hits, misses, discards = c4
+    payload = {
+        "environment": "Homo B",
+        "system": "dlion",
+        "horizon_s": horizon,
+        "reps": REPS,
+        "cpu_count": os.cpu_count(),
+        "serial": {"wall_s": w1, "scopes": s1},
+        "threads_4": {
+            "wall_s": w4,
+            "scopes": s4,
+            "speculation": {"hits": hits, "misses": misses, "discards": discards},
+        },
+        "speedup_serial_vs_4": w1 / w4,
+    }
+    _record("compute_threads", payload)
+    print(
+        f"\nserial {w1:.2f}s vs 4 threads {w4:.2f}s "
+        f"({payload['speedup_serial_vs_4']:.2f}x on {os.cpu_count()} cpu); "
+        f"speculation hits={hits} misses={misses} discards={discards}"
+    )
+    if not SMOKE and (os.cpu_count() or 1) >= 4:
+        # Only meaningful with real parallel hardware underneath.
+        assert payload["speedup_serial_vs_4"] > 1.2, payload

@@ -27,20 +27,60 @@ run through pytest instead.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-
-from repro.experiments import figures as figures_mod
-from repro.experiments.environments import ENVIRONMENTS
-from repro.experiments.reporting import format_table
-from repro.experiments.runner import SYSTEM_VARIANTS, RunSpec, run_experiment
 
 __all__ = ["main", "build_parser"]
 
-_FIGURES = [name for name in figures_mod.__all__]
+# BLAS pools honour these only if set before numpy's first import, which
+# is why main() pre-scans argv instead of waiting for argparse (argparse
+# itself needs the environment/figure registries, which import numpy).
+_BLAS_ENV_VARS = (
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "OMP_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+)
+
+
+def _prescan_compute_threads(argv: list[str]) -> int | None:
+    """Extract ``--compute-threads N`` from raw argv, tolerating junk.
+
+    Runs before any heavy import; malformed values are left for argparse
+    to reject with a proper message.
+    """
+    value: str | None = None
+    for i, arg in enumerate(argv):
+        if arg == "--compute-threads" and i + 1 < len(argv):
+            value = argv[i + 1]
+        elif arg.startswith("--compute-threads="):
+            value = arg.split("=", 1)[1]
+    if value is None:
+        return None
+    try:
+        return int(value)
+    except ValueError:
+        return None
+
+
+def _pin_blas_pools() -> None:
+    """Pin BLAS to one thread per call (our pool supplies the parallelism).
+
+    ``setdefault`` so an operator's explicit environment always wins.
+    Without this, N pool threads each fanning out to an OpenBLAS pool of
+    ``cores`` threads would oversubscribe the machine N*cores-fold.
+    """
+    for var in _BLAS_ENV_VARS:
+        os.environ.setdefault(var, "1")
 
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse CLI (list / run / compare / figure / selftest)."""
+    from repro.experiments import figures as figures_mod
+    from repro.experiments.environments import ENVIRONMENTS
+    from repro.experiments.runner import SYSTEM_VARIANTS
+
+    _FIGURES = list(figures_mod.__all__)
     parser = argparse.ArgumentParser(
         prog="repro-dlion",
         description="Reproduction of DLion (HPDC '21): decentralized "
@@ -86,6 +126,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the metrics registry as JSON")
     run_p.add_argument("--profile", action="store_true",
                        help="print a wall-clock profile of the simulator itself")
+    run_p.add_argument("--compute-threads", type=int, default=None,
+                       help="threads for the parallel compute stage "
+                       "(sim backend; default min(workers, cores); results "
+                       "are byte-identical for any value; 1 = fully serial)")
 
     cmp_p = sub.add_parser("compare", help="run several systems in one environment")
     cmp_p.add_argument("--environment", "-e", required=True, choices=sorted(ENVIRONMENTS))
@@ -106,6 +150,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_list() -> int:
+    from repro.experiments import figures as figures_mod
+    from repro.experiments.environments import ENVIRONMENTS
+    from repro.experiments.runner import SYSTEM_VARIANTS
+
+    _FIGURES = list(figures_mod.__all__)
     print("environments (paper Table 3):")
     for env in ENVIRONMENTS.values():
         print(f"  {env.name:15s} [{env.platform}] {env.description}")
@@ -235,6 +284,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     config, topo, default_horizon = _build_run_setup(args)
     membership = _parse_churn(args.churn, n_workers=topo.n_workers)
     horizon = args.horizon if args.horizon is not None else default_horizon
+    compute_threads = args.compute_threads
+    if compute_threads is None:
+        compute_threads = min(topo.n_workers, os.cpu_count() or 1)
+    if compute_threads < 1:
+        print("--compute-threads must be >= 1", file=sys.stderr)
+        return 2
+    if compute_threads > 1:
+        # The environment was pinned in main() before numpy loaded;
+        # report the effective setting once so runs are auditable.
+        blas = os.environ.get("OPENBLAS_NUM_THREADS", "unset")
+        print(
+            f"compute threads: {compute_threads} "
+            f"(BLAS threads per call: {blas}; results are "
+            "byte-identical to --compute-threads 1)"
+        )
     if args.backend == "proc":
         from repro.core.live_engine import LiveEngine
 
@@ -246,6 +310,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             tracer=tracer,
             metrics=metrics,
             profile=args.profile,
+            compute_threads=compute_threads,
         )
         result = engine.run(horizon)
     else:
@@ -259,6 +324,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             tracer=tracer,
             metrics=metrics,
             profiler=profiler,
+            compute_threads=compute_threads,
         )
         result = sim.run(horizon)
     print(f"environment    : {args.environment or args.env_file}")
@@ -304,6 +370,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.experiments.reporting import format_table
+    from repro.experiments.runner import SYSTEM_VARIANTS, RunSpec, run_experiment
+
     systems = [s.strip() for s in args.systems.split(",") if s.strip()]
     unknown = [s for s in systems if s not in SYSTEM_VARIANTS]
     if unknown:
@@ -334,6 +403,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments import figures as figures_mod
+
     driver = getattr(figures_mod, args.name)
     print(driver().render())
     return 0
@@ -353,6 +424,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    raw = sys.argv[1:] if argv is None else argv
+    threads = _prescan_compute_threads(raw)
+    if threads is not None and threads > 1:
+        _pin_blas_pools()
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()

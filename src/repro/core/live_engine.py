@@ -19,6 +19,7 @@ processes to be terminated before the failure is raised.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 
 from repro.cluster.topology import ClusterTopology
@@ -52,6 +53,7 @@ class LiveEngine:
         metrics: MetricsRegistry | None = None,
         profile: bool = False,
         host: str = "127.0.0.1",
+        compute_threads: int = 1,
     ):
         self.config = config
         self.topology = topology
@@ -63,6 +65,9 @@ class LiveEngine:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.profile = profile
         self.host = host
+        if compute_threads < 1:
+            raise ValueError("compute_threads must be >= 1")
+        self.compute_threads = compute_threads
 
     # ------------------------------------------------------------------
     def run(
@@ -91,7 +96,20 @@ class LiveEngine:
             trace=self.tracer.enabled,
             profile=self.profile,
             host=self.host,
+            compute_threads=self.compute_threads,
         )
+        if self.compute_threads > 1:
+            # The worker processes are the parallel compute stage here;
+            # pin each child's BLAS pool to one thread so W processes do
+            # not oversubscribe the machine W*cores-fold. Spawned
+            # children inherit the environment before their numpy import.
+            for var in (
+                "OPENBLAS_NUM_THREADS",
+                "MKL_NUM_THREADS",
+                "OMP_NUM_THREADS",
+                "NUMEXPR_NUM_THREADS",
+            ):
+                os.environ.setdefault(var, "1")
         ctx = multiprocessing.get_context("spawn")
         conns = []
         procs = []

@@ -332,6 +332,9 @@ class RunSpec:
     seed: int = 0
     horizon: float | None = None  # defaults to the workload's scaled horizon
     config_overrides: dict = field(default_factory=dict)
+    # Threads for the engine's parallel compute stage. Results are
+    # byte-identical for any value, so sweeps may raise this freely.
+    compute_threads: int = 1
 
 
 def run_experiment(
@@ -354,6 +357,7 @@ def run_experiment(
     engine = TrainingEngine(
         config, topo, seed=spec.seed,
         tracer=tracer, metrics=metrics, profiler=profiler,
+        compute_threads=spec.compute_threads,
     )
     horizon = spec.horizon if spec.horizon is not None else workload.horizon()
     return engine.run(horizon)

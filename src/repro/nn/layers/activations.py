@@ -11,19 +11,28 @@ __all__ = ["ReLU", "ReLU6", "LeakyReLU"]
 
 class ReLU(Layer):
     """max(x, 0)."""
+
     def __init__(self) -> None:
         super().__init__()
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool) -> np.ndarray:
-        mask = x > 0
-        self._mask = mask if training else None
-        return np.where(mask, x, 0.0)
+        if training:
+            mask = self._buf("mask", x.shape, bool)
+            np.greater(x, 0, out=mask)
+            self._mask = mask
+        else:
+            self._mask = None
+        out = self._buf("out", x.shape, x.dtype)
+        np.maximum(x, 0.0, out=out)
+        return out
 
     def backward(self, dout: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise RuntimeError("backward called without a training forward pass")
-        return dout * self._mask
+        dx = self._buf("dx", dout.shape, dout.dtype)
+        np.multiply(dout, self._mask, out=dx)
+        return dx
 
 
 class LeakyReLU(Layer):
@@ -37,14 +46,21 @@ class LeakyReLU(Layer):
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool) -> np.ndarray:
-        mask = x > 0
+        mask = self._buf("mask", x.shape, bool)
+        np.greater(x, 0, out=mask)
         self._mask = mask if training else None
-        return np.where(mask, x, self.alpha * x)
+        out = self._buf("out", x.shape, x.dtype)
+        np.multiply(x, self.alpha, out=out)
+        np.copyto(out, x, where=mask)
+        return out
 
     def backward(self, dout: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise RuntimeError("backward called without a training forward pass")
-        return np.where(self._mask, dout, self.alpha * dout)
+        dx = self._buf("dx", dout.shape, dout.dtype)
+        np.multiply(dout, self.alpha, out=dx)
+        np.copyto(dx, dout, where=self._mask)
+        return dx
 
 
 class ReLU6(Layer):
@@ -55,11 +71,22 @@ class ReLU6(Layer):
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool) -> np.ndarray:
-        mask = (x > 0) & (x < 6.0)
-        self._mask = mask if training else None
-        return np.clip(x, 0.0, 6.0)
+        if training:
+            mask = self._buf("mask", x.shape, bool)
+            lower = self._buf("mask_lo", x.shape, bool)
+            np.less(x, 6.0, out=mask)
+            np.greater(x, 0, out=lower)
+            mask &= lower
+            self._mask = mask
+        else:
+            self._mask = None
+        out = self._buf("out", x.shape, x.dtype)
+        np.clip(x, 0.0, 6.0, out=out)
+        return out
 
     def backward(self, dout: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise RuntimeError("backward called without a training forward pass")
-        return dout * self._mask
+        dx = self._buf("dx", dout.shape, dout.dtype)
+        np.multiply(dout, self._mask, out=dx)
+        return dx

@@ -14,7 +14,9 @@ class MaxPool2D(Layer):
 
     Input spatial dims must be divisible by ``size`` (the models in this
     repo are constructed so that they are), which lets the forward pass
-    be a pure reshape + reduce — no im2col needed.
+    be a pure reshape + reduce — no im2col needed. All intermediates
+    (the pooled output, the argmax router mask, the routed gradient)
+    live in cached per-layer buffers on the workspace path.
     """
 
     def __init__(self, size: int = 2):
@@ -30,17 +32,21 @@ class MaxPool2D(Layer):
         if h % s or w % s:
             raise ValueError(f"input {h}x{w} not divisible by pool size {s}")
         xr = x.reshape(n, c, h // s, s, w // s, s)
-        out = xr.max(axis=(3, 5))
+        out = self._buf("out", (n, c, h // s, w // s), x.dtype)
+        xr.max(axis=(3, 5), out=out)
         if training:
-            # Mask of the (first) argmax within each window, used as the
-            # gradient router in backward.
-            mask = xr == out[:, :, :, None, :, None]
-            # Break ties toward a single element so gradients are not
-            # double-counted: keep only the first True per window. The
-            # window axes (3, 5) are brought together before flattening.
-            flat = mask.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, h // s, w // s, s * s)
+            # Route each window's gradient to the (first) argmax. The
+            # window axes (3, 5) are brought together before flattening
+            # so ties break toward a single element and gradients are
+            # never double-counted.
+            flat = self._buf("flat", (n, c, h // s, w // s, s * s), x.dtype)
+            np.copyto(
+                flat.reshape(n, c, h // s, w // s, s, s),
+                xr.transpose(0, 1, 2, 4, 3, 5),
+            )
             first = flat.argmax(axis=-1)
-            mask = np.zeros_like(flat, dtype=bool)
+            mask = self._buf("mask", flat.shape, bool)
+            mask[...] = False
             np.put_along_axis(mask, first[..., None], True, axis=-1)
             self._cache = (x.shape, mask)
         else:
@@ -53,12 +59,14 @@ class MaxPool2D(Layer):
         x_shape, mask = self._cache
         n, c, h, w = x_shape
         s = self.size
-        dx = mask * dout[:, :, :, :, None]
-        return (
-            dx.reshape(n, c, h // s, w // s, s, s)
-            .transpose(0, 1, 2, 4, 3, 5)
-            .reshape(n, c, h, w)
+        routed = self._buf("routed", mask.shape, dout.dtype)
+        np.multiply(mask, dout[:, :, :, :, None], out=routed)
+        dx = self._buf("dx", x_shape, dout.dtype)
+        np.copyto(
+            dx.reshape(n, c, h // s, s, w // s, s),
+            routed.reshape(n, c, h // s, w // s, s, s).transpose(0, 1, 2, 4, 3, 5),
         )
+        return dx
 
 
 class AvgPool2D(Layer):
@@ -77,19 +85,24 @@ class AvgPool2D(Layer):
         if h % s or w % s:
             raise ValueError(f"input {h}x{w} not divisible by pool size {s}")
         self._shape = x.shape if training else None
-        return x.reshape(n, c, h // s, s, w // s, s).mean(axis=(3, 5))
+        dtype = x.dtype if x.dtype.kind == "f" else np.float64
+        out = self._buf("out", (n, c, h // s, w // s), dtype)
+        x.reshape(n, c, h // s, s, w // s, s).mean(axis=(3, 5), out=out)
+        return out
 
     def backward(self, dout: np.ndarray) -> np.ndarray:
         if self._shape is None:
             raise RuntimeError("backward called without a training forward pass")
         n, c, h, w = self._shape
         s = self.size
-        scaled = dout / (s * s)
-        return (
-            np.broadcast_to(
-                scaled[:, :, :, None, :, None], (n, c, h // s, s, w // s, s)
-            ).reshape(n, c, h, w)
+        scaled = self._buf("scaled", dout.shape, dout.dtype)
+        np.divide(dout, s * s, out=scaled)
+        dx = self._buf("dx", (n, c, h, w), dout.dtype)
+        np.copyto(
+            dx.reshape(n, c, h // s, s, w // s, s),
+            scaled[:, :, :, None, :, None],
         )
+        return dx
 
 
 class GlobalAvgPool2D(Layer):
@@ -103,10 +116,14 @@ class GlobalAvgPool2D(Layer):
         if x.ndim != 4:
             raise ValueError(f"GlobalAvgPool2D expected 4-D input, got {x.shape}")
         self._shape = x.shape if training else None
-        return x.mean(axis=(2, 3))
+        out = self._buf("out", x.shape[:2], x.dtype if x.dtype.kind == "f" else np.float64)
+        x.mean(axis=(2, 3), out=out)
+        return out
 
     def backward(self, dout: np.ndarray) -> np.ndarray:
         if self._shape is None:
             raise RuntimeError("backward called without a training forward pass")
         n, c, h, w = self._shape
-        return np.broadcast_to(dout[:, :, None, None], (n, c, h, w)) / (h * w)
+        dx = self._buf("dx", (n, c, h, w), dout.dtype)
+        np.divide(dout[:, :, None, None], h * w, out=dx)
+        return dx

@@ -38,6 +38,17 @@ class Model:
         for i, layer in enumerate(self.layers):
             for pname in layer.params:
                 self._var_index[f"{i:02d}_{layer.name}/{pname}"] = (layer, pname)
+        # Update-step scratch (one buffer per variable shape/dtype) so
+        # apply_grads never allocates the ``lr * coeff * g`` temporary.
+        self._scratch: dict[tuple, np.ndarray] = {}
+
+    def _scr(self, shape: tuple[int, ...], dtype) -> np.ndarray:
+        key = (shape, np.dtype(dtype))
+        buf = self._scratch.get(key)
+        if buf is None:
+            buf = np.empty(shape, dtype=dtype)
+            self._scratch[key] = buf
+        return buf
 
     # ------------------------------------------------------------------
     # Variable access
@@ -93,11 +104,13 @@ class Model:
     ) -> tuple[float, GradDict]:
         """One training step's loss and per-variable gradients (Eq. 6)."""
         with _profile.scope("nn/loss_and_grads"):
-            logits = self.forward(x, training=True)
+            with _profile.scope("nn/forward"):
+                logits = self.forward(x, training=True)
             loss, dlogits = softmax_cross_entropy(logits, labels)
-            dout = dlogits
-            for layer in reversed(self.layers):
-                dout = layer.backward(dout)
+            with _profile.scope("nn/backward"):
+                dout = dlogits
+                for layer in reversed(self.layers):
+                    dout = layer.backward(dout)
             grads: GradDict = {}
             for name, (layer, pname) in self._var_index.items():
                 grads[name] = layer.grads[pname]
@@ -116,12 +129,19 @@ class Model:
         application). ``coeff`` carries the dynamic-batching weight and
         the ``1/n`` averaging factor of Eq. 7.
         """
+        scale = lr * coeff
         for name, g in grads.items():
             layer, pname = self._var_index[name]
             w = layer.params[pname]
             if g.shape != w.shape:
                 raise ValueError(f"gradient shape mismatch for {name}")
-            w -= (lr * coeff) * g
+            # Allocation-free form of ``w -= scale * g``: the scaled
+            # temporary keeps g's dtype (matching the historical
+            # expression bit for bit) and lives in a cached scratch.
+            dtype = g.dtype if g.dtype.kind == "f" else np.result_type(g.dtype, np.float64)
+            s = self._scr(g.shape, dtype)
+            np.multiply(g, scale, out=s)
+            np.subtract(w, s, out=w)
 
     def apply_sparse_grads(
         self,
@@ -136,6 +156,43 @@ class Model:
             w = layer.params[pname]
             flat = w.reshape(-1)
             np.subtract.at(flat, idx, (lr * coeff) * vals)
+
+    # ------------------------------------------------------------------
+    # Step-state snapshot (speculative execution support)
+    # ------------------------------------------------------------------
+    def save_step_state(self) -> list[tuple]:
+        """Snapshot state a *training forward* mutates besides caches.
+
+        A speculative ``loss_and_grads`` that is later discarded must
+        leave the model exactly as it found it. Parameters are only
+        written by explicit update calls (never by the step itself), so
+        the snapshot covers the two stateful side effects: BatchNorm
+        running statistics and Dropout's RNG stream position.
+        """
+        saved: list[tuple] = []
+        for layer in self.layers:
+            mean = getattr(layer, "running_mean", None)
+            if isinstance(mean, np.ndarray):
+                saved.append(("bn", layer, mean.copy(), layer.running_var.copy()))
+            rng = getattr(layer, "rng", None)
+            if isinstance(rng, np.random.Generator):
+                saved.append(("rng", layer, rng.bit_generator.state))
+        return saved
+
+    def restore_step_state(self, saved: list[tuple]) -> None:
+        """Undo a speculative step recorded by :meth:`save_step_state`.
+
+        Arrays are restored in place (identity preserved); RNG streams
+        are rewound to their saved position.
+        """
+        for entry in saved:
+            if entry[0] == "bn":
+                _, layer, mean, var = entry
+                np.copyto(layer.running_mean, mean)
+                np.copyto(layer.running_var, var)
+            else:
+                _, layer, state = entry
+                layer.rng.bit_generator.state = state
 
     # ------------------------------------------------------------------
     # Evaluation

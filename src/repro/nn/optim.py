@@ -4,6 +4,11 @@ The distributed layer applies most updates itself through
 ``Model.apply_grads`` (it must weight each peer's gradient individually,
 Eq. 7); ``SGD`` here is the single-machine convenience used by examples,
 tests, and the RCP profiling probes.
+
+All update arithmetic runs in place against cached scratch buffers —
+momentum, clipping, and the parameter step allocate nothing after the
+first call — while reproducing the historical allocating expressions
+bit for bit (each temporary keeps the dtype the old expression gave it).
 """
 
 from __future__ import annotations
@@ -48,21 +53,47 @@ class SGD:
             self._velocity = {
                 n: np.zeros_like(v) for n, v in model.variables().items()
             }
+        # name -> scratch for the clipped gradient / scaled velocity.
+        self._scratch: dict[str, np.ndarray] = {}
 
     @staticmethod
     def global_norm(grads: Mapping[str, np.ndarray]) -> float:
+        """L2 norm over all gradient entries (allocating convenience form)."""
         return float(
             np.sqrt(sum(float(np.square(g).sum()) for g in grads.values()))
         )
 
+    def _global_norm(self, grads: Mapping[str, np.ndarray]) -> float:
+        # Same value as global_norm bit for bit (identical elementwise
+        # square, reduction, and accumulation order), but squares into
+        # the clip scratch so the norm check allocates nothing.
+        total = 0.0
+        for n, g in grads.items():
+            s = self._scr(f"clip/{n}", g)
+            np.square(g, out=s)
+            total += float(s.sum())
+        return float(np.sqrt(total))
+
+    def _scr(self, name: str, like: np.ndarray) -> np.ndarray:
+        buf = self._scratch.get(name)
+        if buf is None or buf.shape != like.shape or buf.dtype != like.dtype:
+            buf = np.empty(like.shape, dtype=like.dtype)
+            self._scratch[name] = buf
+        return buf
+
     def _clip(self, grads: Mapping[str, np.ndarray]) -> Mapping[str, np.ndarray]:
         if self.clip_norm is None:
             return grads
-        norm = self.global_norm(grads)
+        norm = self._global_norm(grads)
         if norm <= self.clip_norm or norm == 0.0:
             return grads
         scale = self.clip_norm / norm
-        return {n: g * scale for n, g in grads.items()}
+        clipped = {}
+        for n, g in grads.items():
+            s = self._scr(f"clip/{n}", g)
+            np.multiply(g, scale, out=s)
+            clipped[n] = s
+        return clipped
 
     def step(self, grads: Mapping[str, np.ndarray]) -> None:
         """Apply one update from the given per-variable gradients."""
@@ -79,4 +110,7 @@ class SGD:
             v = self._velocity[name]
             v *= self.momentum
             v += g
-            variables[name] -= self.lr * v
+            # In-place ``variables[name] -= self.lr * v``.
+            s = self._scr(f"step/{name}", v)
+            np.multiply(v, self.lr, out=s)
+            np.subtract(variables[name], s, out=variables[name])

@@ -1,0 +1,62 @@
+"""Reusable NN scratch buffers: the allocation-free hot path's switch.
+
+Every layer owns a small buffer cache (see ``Layer._buf``) keyed by
+``(site, shape, dtype)``. When the workspace is **enabled** (the
+default), forward/backward intermediates — im2col columns, GEMM
+outputs, activation masks, gradient arrays — are written into those
+cached buffers, so a steady-state training step performs no large NumPy
+allocations. When disabled, every request returns a fresh array and the
+layers behave exactly like the historical allocating implementation;
+the two paths are numerically identical (asserted by the hypothesis
+suite in ``tests/nn/test_workspace_parity.py``).
+
+Buffers are cached **per layer object**, never shared across layers or
+models: a buffer's lifetime spans a forward→backward pair (Conv2D's
+column matrix, Dense's cached input), so a shape-keyed global pool
+would alias live data. Each model replica computes on one thread at a
+time (the compute pool schedules at most one step per worker), which
+makes per-layer caches thread-safe without locks.
+
+Because gradient arrays are reused across iterations on this path,
+anything that escapes the step must be copied — ``Worker.send_data``
+copies dense payloads before they enter the (simulated or real)
+network, and sparse payloads already materialize fresh arrays through
+fancy indexing.
+
+Set ``REPRO_NN_WORKSPACE=0`` to disable at import time, or use
+:func:`set_enabled` / :func:`disabled` for scoped A/B comparisons (the
+training-step benchmark measures both paths).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["enabled", "set_enabled", "disabled"]
+
+_enabled: bool = os.environ.get("REPRO_NN_WORKSPACE", "1") != "0"
+
+
+def enabled() -> bool:
+    """Whether layers reuse their cached scratch buffers."""
+    return _enabled
+
+
+def set_enabled(flag: bool) -> bool:
+    """Turn buffer reuse on/off globally; returns the previous setting."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(flag)
+    return previous
+
+
+@contextmanager
+def disabled() -> Iterator[None]:
+    """Run a block on the allocating path (for A/B parity checks)."""
+    previous = set_enabled(False)
+    try:
+        yield
+    finally:
+        set_enabled(previous)

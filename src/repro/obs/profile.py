@@ -22,6 +22,13 @@ region with::
         engine.run(...)
     print(prof.report())
 
+The active profiler lives in a :class:`contextvars.ContextVar`, so
+scopes entered on the compute pool's worker threads attribute to the
+profiler of the context captured at task-submission time (the pool
+submits tasks through :func:`contextvars.copy_context`) instead of
+racing on a module global. :meth:`Profiler.add` itself takes a lock,
+since pool threads and the event loop record scopes concurrently.
+
 Scopes are **inclusive**: a scope's total contains any scopes entered
 beneath it (``simclock/dispatch`` in particular contains nearly
 everything, since all simulation work runs inside event callbacks).
@@ -29,7 +36,9 @@ everything, since all simulation work runs inside event callbacks).
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
+from contextvars import ContextVar
 from time import perf_counter
 from typing import Iterator
 
@@ -50,9 +59,11 @@ class _NullScope:
 
 _NULL_SCOPE = _NullScope()
 
-# The single active profiler (simulations are single-threaded; nesting
-# via ``activate`` restores the previous one on exit).
-_active: "Profiler | None" = None
+# The active profiler for the *current context*. A ContextVar (not a
+# module global) so a context copied at compute-pool submission time
+# carries the profiler onto the pool thread, and nested ``activate``
+# blocks restore the previous profiler on exit.
+_active: ContextVar["Profiler | None"] = ContextVar("repro_active_profiler", default=None)
 
 
 class _Scope:
@@ -74,13 +85,16 @@ class _Scope:
 
 
 class Profiler:
-    """Aggregates wall-clock seconds per named scope."""
+    """Aggregates wall-clock seconds per named scope (thread-safe)."""
 
     enabled = True
 
     def __init__(self) -> None:
         # name -> [calls, total_seconds]
         self._totals: dict[str, list] = {}
+        # add() is a read-modify-write; compute-pool threads record
+        # nn/* scopes concurrently with the event loop's scopes.
+        self._lock = threading.Lock()
 
     def scope(self, name: str) -> _Scope:
         """A context manager timing one entry of ``name``."""
@@ -88,21 +102,24 @@ class Profiler:
 
     def add(self, name: str, seconds: float, calls: int = 1) -> None:
         """Record ``seconds`` of wall time (and ``calls`` entries)."""
-        entry = self._totals.get(name)
-        if entry is None:
-            self._totals[name] = [calls, seconds]
-        else:
-            entry[0] += calls
-            entry[1] += seconds
+        with self._lock:
+            entry = self._totals.get(name)
+            if entry is None:
+                self._totals[name] = [calls, seconds]
+            else:
+                entry[0] += calls
+                entry[1] += seconds
 
     def totals(self) -> dict[str, tuple[int, float]]:
         """``{name: (calls, total_seconds)}`` for every scope seen."""
-        return {name: (c, s) for name, (c, s) in self._totals.items()}
+        with self._lock:
+            return {name: (c, s) for name, (c, s) in self._totals.items()}
 
     def total(self, name: str) -> float:
         """Total wall seconds recorded under ``name`` (0.0 if unseen)."""
-        entry = self._totals.get(name)
-        return entry[1] if entry else 0.0
+        with self._lock:
+            entry = self._totals.get(name)
+            return entry[1] if entry else 0.0
 
     def report(self) -> str:
         """A text table of scopes sorted by total wall time (descending).
@@ -110,9 +127,10 @@ class Profiler:
         Scopes are inclusive of nested scopes, so columns do not sum to
         the run's wall time.
         """
-        if not self._totals:
+        totals = self.totals()
+        if not totals:
             return "profile: no scopes recorded"
-        rows = sorted(self._totals.items(), key=lambda kv: -kv[1][1])
+        rows = sorted(totals.items(), key=lambda kv: -kv[1][1])
         width = max(len("scope"), max(len(n) for n, _ in rows))
         lines = [
             f"{'scope'.ljust(width)}  {'calls':>9}  {'total s':>10}  {'mean ms':>10}",
@@ -127,31 +145,30 @@ class Profiler:
 
 
 def set_active(profiler: Profiler | None) -> Profiler | None:
-    """Install ``profiler`` as the global target; returns the previous one."""
-    global _active
-    previous = _active
-    _active = profiler
+    """Install ``profiler`` as the context's target; returns the previous one."""
+    previous = _active.get()
+    _active.set(profiler)
     return previous
 
 
 def active_profiler() -> Profiler | None:
     """The currently active profiler, or None when profiling is off."""
-    return _active
+    return _active.get()
 
 
 @contextmanager
 def activate(profiler: Profiler) -> Iterator[Profiler]:
     """Make ``profiler`` active for the duration of the block."""
-    previous = set_active(profiler)
+    token = _active.set(profiler)
     try:
         yield profiler
     finally:
-        set_active(previous)
+        _active.reset(token)
 
 
 def scope(name: str):
     """Time ``name`` against the active profiler (no-op when none)."""
-    profiler = _active
+    profiler = _active.get()
     if profiler is None:
         return _NULL_SCOPE
     return _Scope(profiler, name)

@@ -1,0 +1,199 @@
+"""Compute-pool tests: thread-count byte-identity and speculation paths.
+
+The pool's contract is that a run's *observable output* — every metric,
+every time series, every trace event — is byte-identical for any
+``compute_threads`` value. These tests pin that contract on full short
+simulations (including membership churn and an early finalize that
+forces the drain path) and exercise the hit/miss/discard machinery
+directly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.cluster.topology import ClusterTopology
+from repro.core.compute_pool import ComputePool
+from repro.core.config import DktConfig, GbsConfig, LbsConfig, TrainConfig
+from repro.core.engine import TrainingEngine
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+def _fresh_setup() -> tuple[TrainConfig, ClusterTopology]:
+    """A fresh (config, topology) pair per run.
+
+    Topologies carry mutable link-queue state, so two runs being
+    compared must never share one instance.
+    """
+    config = TrainConfig(
+        model="mlp",
+        model_kwargs={"in_dim": 576, "hidden": (32,)},
+        train_size=240,
+        test_size=80,
+        eval_subset=80,
+        initial_lbs=8,
+        lr=0.1,
+        gbs=GbsConfig(update_period_s=5.0),
+        lbs=LbsConfig(probe_batches=(4, 8), probe_repeats=1, profile_period_iters=50),
+        dkt=DktConfig(period_iters=10),
+        eval_period_iters=10,
+    )
+    topology = ClusterTopology.build(
+        cores=[8, 4, 2],
+        bandwidth=[20.0, 10.0, 5.0],
+        per_core_rate=16.0,
+        overhead=0.02,
+        jitter=0.0,
+    )
+    return config, topology
+
+
+def _run(*, threads, horizon=30.0, membership=None, seed=3):
+    config, topology = _fresh_setup()
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    engine = TrainingEngine(
+        config,
+        topology,
+        seed=seed,
+        tracer=tracer,
+        metrics=metrics,
+        membership=membership,
+        compute_threads=threads,
+    )
+    result = engine.run(horizon)
+    return engine, result, json.dumps(metrics.to_dict(), sort_keys=True), tracer.dumps()
+
+
+class TestByteIdentity:
+    def test_threaded_run_matches_serial_exactly(self):
+        _, r1, m1, t1 = _run(threads=1)
+        e4, r4, m4, t4 = _run(threads=4)
+        assert r1.iterations == r4.iterations
+        assert r1.epochs == r4.epochs
+        assert m1 == m4  # every registered metric, bit for bit
+        assert t1 == t4  # the full Chrome trace, byte for byte
+        # The run must actually have speculated, or this test proves nothing.
+        assert e4.compute_pool.hits > 0
+
+    def test_identity_under_membership_churn(self):
+        from repro.cluster.membership import MembershipSchedule
+
+        results = []
+        for threads in (1, 4):
+            sched = MembershipSchedule(
+                [(8.0, 2, "leave"), (18.0, 2, "join")], n_workers=3
+            )
+            results.append(_run(threads=threads, membership=sched))
+        (_, r1, m1, t1), (_, r4, m4, t4) = results
+        assert r1.iterations == r4.iterations
+        assert m1 == m4
+        assert t1 == t4
+
+    def test_drain_keeps_finalize_identical(self):
+        """Stopping mid-flight must rewind pending speculation before the
+        final evaluations read BatchNorm stats and sampler positions."""
+        outs = []
+        for threads in (1, 4):
+            config, topology = _fresh_setup()
+            engine = TrainingEngine(
+                config, topology, seed=5, compute_threads=threads
+            )
+            engine.advance_to(13.7)  # pool tasks are pending at this instant
+            result = engine.finalize()
+            outs.append(
+                (
+                    result.iterations,
+                    result.epochs,
+                    [s.values[-1] for s in result.accuracy],
+                )
+            )
+            assert len(engine.compute_pool._tasks) == 0
+        assert outs[0] == outs[1]
+
+
+class TestSpeculationMachinery:
+    def test_version_mismatch_forces_replay(self):
+        """A model write between submit and fire must discard the
+        speculative result; the replay keeps the run on the serial path
+        (covered by byte-identity), and the miss is counted."""
+        config, topology = _fresh_setup()
+        engine = TrainingEngine(config, topology, seed=3, compute_threads=2)
+        engine.advance_to(25.0)
+        pool = engine.compute_pool
+        # Gradient deliveries between submissions and completions make
+        # both outcomes occur naturally in a 3-worker all-to-all run.
+        assert pool.hits > 0
+        assert pool.misses >= 0
+        assert pool.hits + pool.misses <= sum(engine.result.iterations)
+        engine.finalize()
+
+    def test_serial_pool_never_creates_executor(self):
+        config, topology = _fresh_setup()
+        engine = TrainingEngine(config, topology, seed=3, compute_threads=1)
+        engine.run(10.0)
+        pool = engine.compute_pool
+        assert not pool.enabled()
+        assert pool._executor is None
+        assert pool.hits == 0 and pool.misses == 0
+
+    def test_rejects_nonpositive_threads(self):
+        with pytest.raises(ValueError):
+            ComputePool(object(), 0)
+
+    def test_discard_rewinds_sampler_and_model_state(self):
+        """Discarding a task must leave worker state as if the batch was
+        never drawn (the inactive-at-fire / past-horizon path)."""
+        config, topology = _fresh_setup()
+        engine = TrainingEngine(config, topology, seed=3, compute_threads=2)
+        engine.advance_to(20.0)
+        pool = engine.compute_pool
+        worker = engine.workers[0]
+        before_rng = worker.sampler.rng.bit_generator.state
+        before_drawn = worker.sampler.samples_drawn
+        if worker.worker_id not in pool._tasks:
+            pool._submit(worker, worker.lbs)
+        assert worker.sampler.rng.bit_generator.state != before_rng
+        pool.discard(worker)
+        assert worker.sampler.rng.bit_generator.state == before_rng
+        assert worker.sampler.samples_drawn == before_drawn
+        assert worker.worker_id not in pool._tasks
+        engine.finalize()
+
+
+class TestCliFlag:
+    def test_compute_threads_flag_end_to_end(self, capsys):
+        rc = main(
+            [
+                "run", "-e", "Homo A", "-s", "baseline",
+                "--horizon", "12", "--seed", "1", "--compute-threads", "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "compute threads: 2" in out
+        assert "accuracy" in out
+
+    def test_flag_output_matches_serial(self, capsys):
+        args = ["run", "-e", "Homo A", "-s", "baseline", "--horizon", "12",
+                "--seed", "1"]
+        assert main(args + ["--compute-threads", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(args + ["--compute-threads", "3"]) == 0
+        threaded = capsys.readouterr().out
+        # Drop the one-line threading banner; everything else must match.
+        threaded = "\n".join(
+            line for line in threaded.splitlines()
+            if not line.startswith("compute threads")
+        )
+        assert threaded.strip() == serial.strip()
+
+    def test_rejects_zero_threads(self, capsys):
+        rc = main(
+            ["run", "-e", "Homo A", "--horizon", "5", "--compute-threads", "0"]
+        )
+        assert rc == 2
