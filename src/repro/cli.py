@@ -12,13 +12,16 @@ Six subcommands::
 ``run`` and ``compare`` accept ``--horizon`` (simulated seconds; default
 is the workload's scaled paper horizon) and ``--seed``. ``run`` also
 takes ``--env-file`` (custom cluster JSON), ``--churn`` (elastic
-membership events), ``--output``/``--csv`` (result export), and the
+membership events), ``--chaos`` (a unified fault-plan JSON — scripted
+crashes/restarts and link faults; both backends, see
+docs/robustness.md), ``--output``/``--csv`` (result export), and the
 observability flags ``--trace`` (Chrome-trace JSON, viewable in
 Perfetto), ``--metrics-out`` (metrics registry JSON), and ``--profile``
 (wall-clock profile of the simulator itself). ``run --backend proc``
 executes the same job as real worker processes over a loopback TCP mesh
 (``--speedup`` maps modelled seconds to wall time, ``--workers``
-truncates the environment; see docs/architecture.md). All output is
+truncates the environment, ``--checkpoint-dir``/``--checkpoint-interval``
+enable crash checkpoints; see docs/architecture.md). All output is
 plain text;
 benchmark archives land under ``benchmarks/results/`` when figures are
 run through pytest instead.
@@ -118,6 +121,26 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="TIME:WORKER:ACTION",
         help="elastic-membership event, e.g. --churn 100:0:leave "
         "--churn 200:0:join (repeatable)",
+    )
+    run_p.add_argument(
+        "--chaos",
+        metavar="FILE",
+        help="unified fault plan JSON (crashes/restarts + link faults; "
+        "both backends, modelled-time schedule; see docs/robustness.md)",
+    )
+    run_p.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="proc backend: directory for periodic worker checkpoints "
+        "(enables crash recovery; see docs/robustness.md)",
+    )
+    run_p.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="proc backend: modelled seconds between checkpoints "
+        "(default 5; requires --checkpoint-dir)",
     )
     run_p.add_argument("--trace", metavar="PATH",
                        help="write a Chrome-trace JSON of the run "
@@ -268,11 +291,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     if args.backend == "proc" and args.churn:
         print(
-            "--churn is a simulator feature; with --backend proc, kill a "
-            "worker process instead",
+            "--churn is a simulator feature; with --backend proc, script "
+            "crashes with --chaos instead",
             file=sys.stderr,
         )
         return 2
+    if args.backend != "proc" and (
+        args.checkpoint_dir or args.checkpoint_interval is not None
+    ):
+        print(
+            "--checkpoint-dir/--checkpoint-interval apply only to "
+            "--backend proc",
+            file=sys.stderr,
+        )
+        return 2
+    if args.checkpoint_interval is not None and not args.checkpoint_dir:
+        print("--checkpoint-interval requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    chaos = None
+    if args.chaos:
+        from repro.cluster.chaos import ChaosPlan
+
+        try:
+            chaos = ChaosPlan.from_file(args.chaos)
+        except (OSError, ValueError) as exc:
+            print(f"bad --chaos plan: {exc}", file=sys.stderr)
+            return 2
     # Fail on unwritable export paths *before* spending minutes simulating.
     import pathlib
 
@@ -283,6 +327,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     tracer, metrics, profiler = _make_obs(args)
     config, topo, default_horizon = _build_run_setup(args)
     membership = _parse_churn(args.churn, n_workers=topo.n_workers)
+    if chaos is not None:
+        # Mirror the --churn validation: worker ids and link endpoints
+        # must exist in *this* cluster, and the failure must name the
+        # offender, not surface later as a no-op or a hang.
+        try:
+            chaos.validate(topo.n_workers)
+        except ValueError as exc:
+            print(f"bad --chaos plan: {exc}", file=sys.stderr)
+            return 2
     horizon = args.horizon if args.horizon is not None else default_horizon
     compute_threads = args.compute_threads
     if compute_threads is None:
@@ -302,6 +355,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.backend == "proc":
         from repro.core.live_engine import LiveEngine
 
+        checkpoint = None
+        if args.checkpoint_dir:
+            from repro.transport.checkpoint import CheckpointConfig
+
+            try:
+                checkpoint = CheckpointConfig(
+                    directory=args.checkpoint_dir,
+                    interval_s=(
+                        args.checkpoint_interval
+                        if args.checkpoint_interval is not None
+                        else 5.0
+                    ),
+                )
+            except ValueError as exc:
+                print(f"bad checkpoint settings: {exc}", file=sys.stderr)
+                return 2
         engine = LiveEngine(
             config,
             topo,
@@ -311,21 +380,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
             metrics=metrics,
             profile=args.profile,
             compute_threads=compute_threads,
+            checkpoint=checkpoint,
         )
-        result = engine.run(horizon)
+        result = engine.run(horizon, chaos=chaos)
     else:
         from repro.core.engine import TrainingEngine
 
-        sim = TrainingEngine(
-            config,
-            topo,
-            seed=args.seed,
-            membership=membership,
-            tracer=tracer,
-            metrics=metrics,
-            profiler=profiler,
-            compute_threads=compute_threads,
-        )
+        try:
+            sim = TrainingEngine(
+                config,
+                topo,
+                seed=args.seed,
+                membership=membership,
+                tracer=tracer,
+                metrics=metrics,
+                profiler=profiler,
+                compute_threads=compute_threads,
+                chaos=chaos,
+            )
+        except ValueError as exc:
+            # e.g. a chaos plan whose crash narrative conflicts with the
+            # --churn schedule, or drops the cluster below two workers.
+            print(f"invalid run configuration: {exc}", file=sys.stderr)
+            return 2
         result = sim.run(horizon)
     print(f"environment    : {args.environment or args.env_file}")
     print(f"system         : {args.system}")

@@ -94,12 +94,18 @@ def flaky_capacities(
     rate: float = 0.01,
     severity: tuple[float, float] = (0.2, 0.7),
     mean_duration: float = 40.0,
+    floor: float = 1e-3,
 ) -> list[PiecewiseTrace]:
-    """Independent degradation traces for a whole worker list."""
+    """Independent degradation traces for a whole worker list.
+
+    ``floor`` bounds every worker's compounded degradation, exactly as
+    in :func:`degraded_trace` (capacity never drops below
+    ``floor * base``).
+    """
     return [
         degraded_trace(
             float(v), rng, horizon=horizon, rate=rate,
-            severity=severity, mean_duration=mean_duration,
+            severity=severity, mean_duration=mean_duration, floor=floor,
         )
         for v in base_values
     ]

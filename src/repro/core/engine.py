@@ -18,6 +18,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.cluster.chaos import ChaosPlan, LinkFault, LinkFaultInjector
+from repro.cluster.membership import MembershipSchedule
 from repro.cluster.messages import (
     ControlMessage,
     DktRequestMessage,
@@ -178,6 +180,7 @@ class TrainingEngine:
         metrics: MetricsRegistry | None = None,
         profiler=None,
         compute_threads: int = 1,
+        chaos: ChaosPlan | None = None,
     ):
         self.config = config
         self.topology = topology
@@ -204,11 +207,41 @@ class TrainingEngine:
             self._emit_trace_metadata()
 
         # Elastic membership (extension; None = the paper's fixed set).
+        if membership is not None and membership.n_workers != self.n_workers:
+            raise ValueError("membership schedule sized for a different cluster")
+
+        # Unified chaos plan (docs/robustness.md): crash/restart events
+        # lower onto the membership machinery (leave + join with the DKT
+        # bootstrap pull), so recovery is seed-deterministic; link faults
+        # are injected at delivery time through ``_deliver``.
+        self.chaos = chaos
+        self._fault_injector: LinkFaultInjector | None = None
+        self._active_blackouts = 0
+        if chaos is not None:
+            chaos.validate(self.n_workers)
+            crash_events = chaos.membership_events()
+            if crash_events:
+                merged = list(crash_events)
+                if membership is not None:
+                    merged.extend(
+                        (ev.time, ev.worker, ev.action)
+                        for ev in membership.events
+                    )
+                try:
+                    membership = MembershipSchedule(merged, self.n_workers)
+                except ValueError as exc:
+                    raise ValueError(
+                        f"chaos plan conflicts with the membership "
+                        f"schedule: {exc}"
+                    ) from None
+            if chaos.link_faults:
+                self._fault_injector = LinkFaultInjector(
+                    chaos, self.rng_pool.get("chaos")
+                )
+
         self.membership = membership
         self.active: set[int] = set(range(self.n_workers))
         if membership is not None:
-            if membership.n_workers != self.n_workers:
-                raise ValueError("membership schedule sized for a different cluster")
             if membership.min_active() < 2:
                 raise ValueError("schedule drops below two active workers")
 
@@ -301,6 +334,8 @@ class TrainingEngine:
         self._c_queue_dropped = rm.c_queue_dropped
         self._g_active = rm.g_active
         self._c_events = rm.c_events
+        self._c_chaos_dropped = rm.c_chaos_dropped
+        self._g_partition = rm.g_partition
         self._c_profile_seconds = rm.c_profile_seconds
         self._c_profile_calls = rm.c_profile_calls
 
@@ -361,7 +396,19 @@ class TrainingEngine:
     ) -> None:
         if dst not in self.active:
             return  # destination is offline; the message is lost
-        arrival = self.topology.network.enqueue_transfer(
+        extra = 0.0
+        if self._fault_injector is not None:
+            verdict = self._fault_injector.on_send(src, dst, self.clock.now)
+            if verdict is None:
+                self._c_chaos_dropped.inc(1, src, dst)
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "chaos-drop", src, TID_NET, self.clock.now,
+                        cat="chaos", args={"dst": dst, "kind": kind},
+                    )
+                return
+            extra = verdict
+        arrival = extra + self.topology.network.enqueue_transfer(
             src, dst, nbytes, self.clock.now
         )
         if self.tracer.enabled:
@@ -507,6 +554,40 @@ class TrainingEngine:
             worker.try_start_iteration()
 
     # ------------------------------------------------------------------
+    # Chaos bookkeeping (gauge flips + recovery accounting)
+    # ------------------------------------------------------------------
+    def _schedule_chaos_markers(self) -> None:
+        for f in self.chaos.blackout_windows():
+            self.clock.schedule(f.start, self._blackout_edge, f, +1)
+            self.clock.schedule(f.end, self._blackout_edge, f, -1)
+        for c in self.chaos.crashes:
+            if c.restart_after is not None:
+                self.clock.schedule(
+                    c.time + c.restart_after, self._record_recovery, c
+                )
+
+    def _blackout_edge(self, fault: "LinkFault", delta: int) -> None:
+        self._active_blackouts += delta
+        self._g_partition.set(self._active_blackouts)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "blackout-start" if delta > 0 else "blackout-end",
+                self.cluster_pid, 0, self.clock.now, cat="chaos",
+                args={"src": fault.src, "dst": fault.dst,
+                      "bidirectional": fault.bidirectional},
+                scope="g",
+            )
+
+    def _record_recovery(self, c) -> None:
+        # The sim's recovery takes exactly the plan's modelled downtime,
+        # and a lowered leave/join destroys no state, so no iterations
+        # are lost — the families are populated so sim and live runs
+        # share one catalog (docs/robustness.md discusses the semantic
+        # difference).
+        self.run_metrics.c_worker_restarts.inc(1, c.worker)
+        self.run_metrics.h_recovery_s.observe(c.restart_after, c.worker)
+
+    # ------------------------------------------------------------------
     # Progress tracking & the GBS tick
     # ------------------------------------------------------------------
     def global_epoch(self) -> float:
@@ -572,6 +653,8 @@ class TrainingEngine:
         if self.membership is not None:
             for event in self.membership.events:
                 self.clock.schedule(event.time, self._apply_membership_event, event)
+        if self.chaos is not None:
+            self._schedule_chaos_markers()
         for w in self.workers:
             if self.config.lbs.enabled:
                 cost = w.run_profiling()

@@ -3,12 +3,21 @@
 Spawns one OS process per DLion worker (each running a
 :class:`~repro.transport.runtime.LiveWorkerRuntime` over an asyncio TCP
 :class:`~repro.transport.mesh.PeerMesh`), coordinates the port-exchange
-handshake over pipes, optionally kills a worker mid-run (the churn /
-fault-injection hook the acceptance tests use), and merges every child's
-metrics, time series, and trace events into the same
-:class:`~repro.core.engine.RunResult` shape the simulator produces — so
-``report``, ``--metrics-out``, and the experiment tooling work on live
-runs unchanged.
+handshake over pipes, and merges every child's metrics, time series, and
+trace events into the same :class:`~repro.core.engine.RunResult` shape
+the simulator produces — so ``report``, ``--metrics-out``, and the
+experiment tooling work on live runs unchanged.
+
+The engine is also the crash **supervisor** (docs/robustness.md). A
+:class:`~repro.cluster.chaos.ChaosPlan` scripts SIGKILLs on the modelled
+clock; killed workers with a ``restart_after`` are respawned with
+``resume=True`` (the child restores its newest checkpoint), walked
+through a private port/ready handshake, and rejoined — the new port is
+fanned out to the survivors as ``("revive", worker, port)`` pipe
+commands so they re-open their mesh links. Unplanned child deaths are
+respawned the same way under ``restart_budget`` with exponential
+backoff; past the budget they fail the run with the dead child's
+captured stderr tail in the error.
 
 The engine is hang-proof by construction: every phase of the handshake
 and the result collection runs against a wall-clock deadline, and any
@@ -20,22 +29,49 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import shutil
+import tempfile
 import time
 
+from repro.cluster.chaos import ChaosPlan
 from repro.cluster.topology import ClusterTopology
 from repro.core.config import TrainConfig
 from repro.core.engine import RunResult
 from repro.core.run_metrics import RunMetrics
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER
+from repro.transport.checkpoint import CheckpointConfig
 from repro.transport.mesh import TransportConfig
 from repro.transport.runtime import LiveRunSpec, run_live_worker
 from repro.utils.metrics import TimeSeries
 
 __all__ = ["LiveEngine"]
 
-# How long to wait for child startup phases (port report, mesh connect).
-_HANDSHAKE_TIMEOUT_S = 60.0
+# How much of a dead child's captured stderr to quote in errors.
+_STDERR_TAIL_BYTES = 2048
+# A scripted kill waits for its victim to complete one iteration past
+# its restore point (so the crash is meaningful at any CI load), but at
+# most this many wall seconds past the due time — the gate must never
+# wedge the run.
+_PROGRESS_GATE_SLACK_S = 10.0
+
+
+class _Child:
+    """Parent-side bookkeeping for one worker process."""
+
+    __slots__ = (
+        "proc", "conn", "port", "last_iteration", "last_time",
+        "restored_iteration", "restarts",
+    )
+
+    def __init__(self, proc, conn):
+        self.proc = proc
+        self.conn = conn
+        self.port: int | None = None
+        self.last_iteration = 0       # newest progress-reported iteration
+        self.last_time = 0.0          # its modelled timestamp
+        self.restored_iteration = 0   # checkpoint iteration after resume
+        self.restarts = 0
 
 
 class LiveEngine:
@@ -54,6 +90,10 @@ class LiveEngine:
         profile: bool = False,
         host: str = "127.0.0.1",
         compute_threads: int = 1,
+        handshake_timeout_s: float = 60.0,
+        restart_budget: int = 0,
+        restart_backoff_s: float = 0.5,
+        checkpoint: CheckpointConfig | None = None,
     ):
         self.config = config
         self.topology = topology
@@ -68,24 +108,50 @@ class LiveEngine:
         if compute_threads < 1:
             raise ValueError("compute_threads must be >= 1")
         self.compute_threads = compute_threads
+        if handshake_timeout_s <= 0:
+            raise ValueError("handshake_timeout_s must be positive")
+        self.handshake_timeout_s = float(handshake_timeout_s)
+        if restart_budget < 0:
+            raise ValueError("restart_budget must be >= 0")
+        self.restart_budget = int(restart_budget)
+        if restart_backoff_s < 0:
+            raise ValueError("restart_backoff_s must be >= 0")
+        self.restart_backoff_s = float(restart_backoff_s)
+        self.checkpoint = checkpoint
+        self._stderr_dir: str | None = None
 
     # ------------------------------------------------------------------
     def run(
         self,
         horizon: float,
         *,
+        chaos: ChaosPlan | None = None,
         chaos_kill: tuple[float, int] | None = None,
         grace_s: float = 60.0,
     ) -> RunResult:
         """Run every worker process to the modelled ``horizon`` and merge.
 
-        ``chaos_kill=(wall_delay_s, worker_id)`` SIGKILLs one worker that
-        many wall seconds after the go signal — the dead-peer path the
-        acceptance criteria exercise (survivors must reconnect/backoff,
-        then surface a clean membership change, never hang). ``grace_s``
-        bounds how long past the modelled horizon's wall equivalent the
-        parent waits before declaring a child hung and terminating it.
+        ``chaos`` scripts crashes (supervised respawn + rejoin when the
+        event carries ``restart_after``) and link faults on the modelled
+        clock. ``chaos_kill=(wall_delay_s, worker_id)`` is the legacy
+        hook: it SIGKILLs one worker that many wall seconds after the go
+        signal with no restart. ``grace_s`` bounds how long past the
+        modelled horizon's wall equivalent the parent waits before
+        declaring a child hung and terminating it.
         """
+        if chaos is not None:
+            chaos.validate(self.n_workers)
+        checkpoint = self.checkpoint
+        tmp_ckpt_dir = None
+        needs_checkpoint = self.restart_budget > 0 or (
+            chaos is not None and chaos.has_restarts()
+        )
+        if checkpoint is None and needs_checkpoint:
+            # Respawned children restore from disk; give them somewhere
+            # to checkpoint even when the caller did not configure it.
+            tmp_ckpt_dir = tempfile.mkdtemp(prefix="dlion-ckpt-")
+            checkpoint = CheckpointConfig(directory=tmp_ckpt_dir)
+        self._stderr_dir = tempfile.mkdtemp(prefix="dlion-stderr-")
         spec = LiveRunSpec(
             config=self.config,
             topology=self.topology,
@@ -97,6 +163,9 @@ class LiveEngine:
             profile=self.profile,
             host=self.host,
             compute_threads=self.compute_threads,
+            checkpoint=checkpoint,
+            chaos=chaos,
+            stderr_dir=self._stderr_dir,
         )
         if self.compute_threads > 1:
             # The worker processes are the parallel compute stage here;
@@ -111,71 +180,106 @@ class LiveEngine:
             ):
                 os.environ.setdefault(var, "1")
         ctx = multiprocessing.get_context("spawn")
-        conns = []
-        procs = []
+        children: dict[int, _Child] = {}
         try:
             for w in range(self.n_workers):
-                parent_conn, child_conn = ctx.Pipe(duplex=True)
-                proc = ctx.Process(
-                    target=run_live_worker,
-                    args=(w, spec, child_conn),
-                    daemon=True,
-                    name=f"dlion-worker-{w}",
-                )
-                proc.start()
-                child_conn.close()  # the child holds its own copy
-                conns.append(parent_conn)
-                procs.append(proc)
+                children[w] = self._spawn(ctx, w, spec, resume=False)
 
-            port_map = self._collect_ports(conns, procs)
-            for conn in conns:
-                conn.send(("ports", port_map))
-            self._collect_ready(conns, procs)
-            for conn in conns:
-                conn.send(("go",))
+            port_msgs = self._recv_expected(children, "port")
+            for w, msg in port_msgs.items():
+                children[w].port = msg[2]
+            port_map = {w: c.port for w, c in children.items()}
+            for c in children.values():
+                c.conn.send(("ports", port_map))
+            self._recv_expected(children, "ready")
+            for c in children.values():
+                c.conn.send(("go",))
 
-            payloads, killed = self._collect_results(
-                conns, procs, horizon, chaos_kill, grace_s
+            payloads, killed = self._supervise(
+                ctx, spec, children, horizon, chaos, chaos_kill, grace_s
             )
         finally:
-            for proc in procs:
-                if proc.is_alive():
-                    proc.terminate()
-            for proc in procs:
-                proc.join(timeout=5.0)
-                if proc.is_alive():  # pragma: no cover - last resort
-                    proc.kill()
-                    proc.join(timeout=5.0)
-            for conn in conns:
-                conn.close()
+            for c in children.values():
+                if c.proc.is_alive():
+                    c.proc.terminate()
+            for c in children.values():
+                c.proc.join(timeout=5.0)
+                if c.proc.is_alive():  # pragma: no cover - last resort
+                    c.proc.kill()
+                    c.proc.join(timeout=5.0)
+            for c in children.values():
+                try:
+                    c.conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+            shutil.rmtree(self._stderr_dir, ignore_errors=True)
+            self._stderr_dir = None
+            if tmp_ckpt_dir is not None:
+                shutil.rmtree(tmp_ckpt_dir, ignore_errors=True)
         return self._merge(payloads, killed, horizon)
+
+    # ------------------------------------------------------------------
+    # Process lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, ctx, w: int, spec: LiveRunSpec, *, resume: bool) -> _Child:
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        proc = ctx.Process(
+            target=run_live_worker,
+            args=(w, spec, child_conn, resume),
+            daemon=True,
+            name=f"dlion-worker-{w}",
+        )
+        proc.start()
+        child_conn.close()  # the child holds its own copy
+        return _Child(proc, parent_conn)
+
+    def _stderr_tail(self, w: int) -> str:
+        """The tail of a child's captured stderr, formatted for an error."""
+        if not self._stderr_dir:
+            return ""
+        path = os.path.join(self._stderr_dir, f"worker{w}.stderr.log")
+        try:
+            with open(path, "rb") as fh:
+                fh.seek(0, os.SEEK_END)
+                size = fh.tell()
+                fh.seek(max(0, size - _STDERR_TAIL_BYTES))
+                tail = fh.read().decode("utf-8", "replace").strip()
+        except OSError:
+            return ""
+        if not tail:
+            return ""
+        return f"\n--- worker {w} stderr (tail) ---\n{tail}"
 
     # ------------------------------------------------------------------
     # Handshake phases
     # ------------------------------------------------------------------
-    def _recv_expected(self, conns, procs, expected: str) -> dict[int, tuple]:
+    def _recv_expected(
+        self, children: dict[int, _Child], expected: str
+    ) -> dict[int, tuple]:
         """Collect one ``expected``-tagged message from every child."""
         out: dict[int, tuple] = {}
-        deadline = time.monotonic() + _HANDSHAKE_TIMEOUT_S
-        pending = set(range(self.n_workers))
+        deadline = time.monotonic() + self.handshake_timeout_s
+        pending = set(children)
         while pending:
             if time.monotonic() > deadline:
                 raise RuntimeError(
                     f"live worker(s) {sorted(pending)} did not report "
-                    f"{expected!r} within {_HANDSHAKE_TIMEOUT_S:.0f}s"
+                    f"{expected!r} within {self.handshake_timeout_s:.0f}s"
                 )
             for w in sorted(pending):
-                if not procs[w].is_alive() and not conns[w].poll():
+                c = children[w]
+                if not c.proc.is_alive() and not c.conn.poll():
                     raise RuntimeError(
-                        f"live worker {w} died during the {expected!r} handshake"
+                        f"live worker {w} died during the {expected!r} "
+                        "handshake" + self._stderr_tail(w)
                     )
-                if conns[w].poll(0.01):
+                if c.conn.poll(0.01):
                     try:
-                        msg = conns[w].recv()
+                        msg = c.conn.recv()
                     except EOFError:
                         raise RuntimeError(
                             f"live worker {w} closed its pipe during the "
-                            f"{expected!r} handshake"
+                            f"{expected!r} handshake" + self._stderr_tail(w)
                         ) from None
                     if msg[0] == "error":
                         raise RuntimeError(
@@ -189,64 +293,280 @@ class LiveEngine:
                     pending.discard(w)
         return out
 
-    def _collect_ports(self, conns, procs) -> dict[int, int]:
-        msgs = self._recv_expected(conns, procs, "port")
-        return {w: msg[2] for w, msg in msgs.items()}
+    def _recv_one(self, child: _Child, w: int, expected: str) -> tuple:
+        """One ``expected``-tagged message from a single (respawned) child."""
+        deadline = time.monotonic() + self.handshake_timeout_s
+        while time.monotonic() <= deadline:
+            if child.conn.poll(0.02):
+                try:
+                    msg = child.conn.recv()
+                except EOFError:
+                    raise RuntimeError(
+                        f"respawned worker {w} closed its pipe during the "
+                        f"{expected!r} handshake" + self._stderr_tail(w)
+                    ) from None
+                if msg[0] == "error":
+                    raise RuntimeError(
+                        f"respawned worker {w} failed during startup:\n{msg[2]}"
+                    )
+                if msg[0] != expected:
+                    raise RuntimeError(
+                        f"respawned worker {w}: expected {expected!r}, "
+                        f"got {msg[0]!r}"
+                    )
+                return msg
+            if not child.proc.is_alive() and not child.conn.poll():
+                raise RuntimeError(
+                    f"respawned worker {w} died during the {expected!r} "
+                    "handshake" + self._stderr_tail(w)
+                )
+        raise RuntimeError(
+            f"respawned worker {w} did not report {expected!r} within "
+            f"{self.handshake_timeout_s:.0f}s"
+        )
 
-    def _collect_ready(self, conns, procs) -> None:
-        self._recv_expected(conns, procs, "ready")
-
-    def _collect_results(
-        self, conns, procs, horizon, chaos_kill, grace_s
+    # ------------------------------------------------------------------
+    # Supervision
+    # ------------------------------------------------------------------
+    def _supervise(
+        self,
+        ctx,
+        spec: LiveRunSpec,
+        children: dict[int, _Child],
+        horizon: float,
+        chaos: ChaosPlan | None,
+        chaos_kill: tuple[float, int] | None,
+        grace_s: float,
     ) -> tuple[dict[int, dict], set[int]]:
-        t0 = time.monotonic()
-        deadline = t0 + horizon / self.speedup + grace_s
+        """The post-go supervisor loop.
+
+        Fires scripted kills, detects dead children, respawns/rejoins
+        under the plan or the restart budget, relays progress, and
+        collects results — all against the horizon wall deadline.
+        """
+        rm = RunMetrics(self.metrics)
+        go_t0 = time.monotonic()
+        deadline = go_t0 + horizon / self.speedup + grace_s
         payloads: dict[int, dict] = {}
-        killed: set[int] = set()
-        pending = set(range(self.n_workers))
-        kill_at = None
-        kill_target = None
+        killed: set[int] = set()               # dead for good, by script
+        pending = set(children)                # workers still owing a result
+        restart_uses = 0
+
+        # Scripted crashes on the modelled clock (plus the legacy
+        # wall-scheduled chaos_kill), ordered by due wall time.
+        crash_queue: list[dict] = []
+        if chaos is not None:
+            for ev in chaos.crashes:
+                crash_queue.append({
+                    "due": go_t0 + ev.time / self.speedup,
+                    "worker": ev.worker,
+                    "restart_after": ev.restart_after,
+                    "event_time": ev.time,
+                })
         if chaos_kill is not None:
-            kill_at = t0 + float(chaos_kill[0])
-            kill_target = int(chaos_kill[1])
+            crash_queue.append({
+                "due": go_t0 + float(chaos_kill[0]),
+                "worker": int(chaos_kill[1]),
+                "restart_after": None,
+                "event_time": None,
+            })
+        crash_queue.sort(key=lambda e: e["due"])
+        # Scheduled respawns: [{at, worker, detected, lost_baseline}].
+        respawns: list[dict] = []
+
         while pending:
             now = time.monotonic()
-            if kill_at is not None and now >= kill_at and kill_target in pending:
-                procs[kill_target].kill()
-                killed.add(kill_target)
-                pending.discard(kill_target)
-                kill_at = None
+            awaiting = {r["worker"] for r in respawns}
             if now > deadline:
                 # Hang-proofing: a worker that outlives the horizon plus
                 # grace is terminated; the run fails loudly.
-                for w in sorted(pending):
-                    procs[w].terminate()
+                for w in sorted(pending - awaiting):
+                    children[w].proc.terminate()
                 raise RuntimeError(
                     f"live worker(s) {sorted(pending)} missed the horizon "
                     f"deadline (+{grace_s:.0f}s grace); terminated"
                 )
-            for w in sorted(pending):
-                if conns[w].poll(0.02):
+
+            # 1. Fire due scripted kills (head of the queue blocks: the
+            #    progress gate below may defer it a little).
+            while crash_queue and now >= crash_queue[0]["due"]:
+                ev = crash_queue[0]
+                w = ev["worker"]
+                if w not in pending or w in awaiting:
+                    crash_queue.pop(0)
+                    continue
+                c = children[w]
+                # Drain buffered progress so the lost-work baseline is
+                # as current as the pipe allows.
+                while c.conn.poll():
                     try:
-                        msg = conns[w].recv()
+                        msg = c.conn.recv()
+                    except EOFError:
+                        break
+                    if msg[0] == "progress":
+                        c.last_iteration = msg[2]
+                        c.last_time = msg[3]
+                    elif msg[0] == "result":
+                        payloads[w] = msg[2]
+                        pending.discard(w)
+                if w not in pending:
+                    crash_queue.pop(0)
+                    continue
+                if (
+                    ev["event_time"] is not None
+                    and c.last_iteration <= c.restored_iteration
+                    and now < ev["due"] + _PROGRESS_GATE_SLACK_S
+                ):
+                    break  # give the victim a moment to make progress
+                crash_queue.pop(0)
+                c.proc.kill()
+                c.proc.join(timeout=5.0)
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "worker-killed", self.n_workers, 0,
+                        (now - go_t0) * self.speedup,
+                        cat="chaos", args={"worker": w}, scope="g",
+                    )
+                if ev["restart_after"] is not None:
+                    at = go_t0 + (
+                        ev["event_time"] + ev["restart_after"]
+                    ) / self.speedup
+                    respawns.append({
+                        "at": max(at, now),
+                        "worker": w,
+                        "detected": now,
+                        "lost_baseline": c.last_iteration,
+                    })
+                    awaiting.add(w)
+                else:
+                    killed.add(w)
+                    pending.discard(w)
+
+            # 2. Fire due respawns.
+            for r in list(respawns):
+                if now >= r["at"]:
+                    respawns.remove(r)
+                    awaiting.discard(r["worker"])
+                    self._respawn(ctx, spec, children, r, go_t0, rm)
+
+            # 3. Drain child pipes (one message per child per sweep; the
+            #    0.02-s polls double as the loop's pacing).
+            for w in sorted(pending - awaiting):
+                c = children[w]
+                if c.conn.poll(0.02):
+                    try:
+                        msg = c.conn.recv()
                     except EOFError:
                         raise RuntimeError(
                             f"live worker {w} closed its pipe before "
-                            "reporting a result"
+                            "reporting a result" + self._stderr_tail(w)
                         ) from None
-                    if msg[0] == "error":
-                        raise RuntimeError(f"live worker {w} failed:\n{msg[2]}")
-                    if msg[0] == "result":
+                    if msg[0] == "progress":
+                        c.last_iteration = msg[2]
+                        c.last_time = msg[3]
+                    elif msg[0] == "error":
+                        raise RuntimeError(
+                            f"live worker {w} failed:\n{msg[2]}"
+                        )
+                    elif msg[0] == "result":
                         payloads[w] = msg[2]
                         pending.discard(w)
-                elif not procs[w].is_alive():
-                    if w in killed:  # pragma: no cover - already handled
-                        pending.discard(w)
+                elif not c.proc.is_alive():
+                    # Unplanned death. Respawn under the budget, else fail
+                    # with whatever the child managed to say on stderr.
+                    if restart_uses < self.restart_budget:
+                        delay = self.restart_backoff_s * (2 ** restart_uses)
+                        restart_uses += 1
+                        respawns.append({
+                            "at": now + delay,
+                            "worker": w,
+                            "detected": now,
+                            "lost_baseline": c.last_iteration,
+                        })
+                        if self.tracer.enabled:
+                            self.tracer.instant(
+                                "worker-died", self.n_workers, 0,
+                                (now - go_t0) * self.speedup,
+                                cat="chaos", args={"worker": w}, scope="g",
+                            )
                     else:
                         raise RuntimeError(
-                            f"live worker {w} exited without reporting a result"
+                            f"live worker {w} exited without reporting a "
+                            "result" + self._stderr_tail(w)
                         )
         return payloads, killed
+
+    def _respawn(
+        self,
+        ctx,
+        spec: LiveRunSpec,
+        children: dict[int, _Child],
+        r: dict,
+        go_t0: float,
+        rm: RunMetrics,
+    ) -> None:
+        """Respawn one dead worker with ``resume=True`` and rejoin it."""
+        w = r["worker"]
+        old = children[w]
+        try:
+            old.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        child = self._spawn(ctx, w, spec, resume=True)
+        child.restarts = old.restarts + 1
+        child.last_iteration = old.last_iteration
+        children[w] = child
+
+        msg = self._recv_one(child, w, "port")
+        child.port = msg[2]
+        child.restored_iteration = int(msg[3]) if len(msg) > 3 else 0
+        child.last_iteration = child.restored_iteration
+        # The rejoiner only dials live peers (a no-restart casualty's old
+        # port would just burn its reconnect budget).
+        live = {
+            i: c.port
+            for i, c in children.items()
+            if i == w or c.proc.is_alive()
+        }
+        child.conn.send(("ports", live))
+        self._recv_one(child, w, "ready")
+
+        # Survivors first: re-opening their links before the rejoiner
+        # starts training narrows the window in which its DKT bootstrap
+        # pull could go unanswered.
+        for i, c in children.items():
+            if i != w and c.proc.is_alive():
+                try:
+                    c.conn.send(("revive", w, child.port))
+                except (BrokenPipeError, OSError):  # pragma: no cover
+                    pass
+        now = time.monotonic()
+        clock_offset = (now - go_t0) * self.speedup
+        child.conn.send((
+            "go",
+            {
+                "clock_offset": clock_offset,
+                "active": sorted(i for i in live if i != w),
+            },
+        ))
+
+        rm.c_worker_restarts.inc(1, w)
+        rm.h_recovery_s.observe(now - r["detected"], w)
+        lost = max(0, int(r["lost_baseline"]) - child.restored_iteration)
+        if lost:
+            rm.c_lost_iterations.inc(lost, w)
+        if self.tracer.enabled:
+            start_model = (r["detected"] - go_t0) * self.speedup
+            self.tracer.complete(
+                "recovery", self.n_workers, 0,
+                start_model, clock_offset - start_model,
+                cat="chaos",
+                args={
+                    "worker": w,
+                    "restored_iteration": child.restored_iteration,
+                    "lost_iterations": lost,
+                },
+            )
 
     # ------------------------------------------------------------------
     # Result merging

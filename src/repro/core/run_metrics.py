@@ -89,6 +89,33 @@ class RunMetrics:
         self.c_events = m.counter(
             "events_processed", "simulation events dispatched"
         )
+        # Crash-recovery accounting (docs/robustness.md). The live
+        # backend measures recovery in wall seconds (kill detection to
+        # rejoin-go); the simulator records the plan's modelled
+        # restart_after — both land in the same family so dashboards
+        # and the parity tests read one catalog.
+        self.c_worker_restarts = m.counter(
+            "worker_restarts_total",
+            "supervised worker respawns after a crash", ("worker",),
+        )
+        self.h_recovery_s = m.histogram(
+            "recovery_time_seconds",
+            "crash detection to rejoin-go, per recovery", ("worker",),
+            buckets=(0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0),
+        )
+        self.c_lost_iterations = m.counter(
+            "lost_iterations_total",
+            "iterations lost to a crash (progress beyond the restored "
+            "checkpoint)", ("worker",),
+        )
+        self.g_partition = m.gauge(
+            "partition_active",
+            "currently-active injected link blackout windows",
+        )
+        self.c_chaos_dropped = m.counter(
+            "chaos_dropped_total",
+            "messages dropped by fault injection", ("src", "dst"),
+        )
         # Wall-clock attribution (populated at finalize when a profiler
         # is attached, empty otherwise): lets a --metrics-out dump carry
         # the same per-scope numbers the --profile table prints.

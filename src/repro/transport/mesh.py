@@ -23,7 +23,18 @@ Reliability mechanics:
   (:meth:`repro.core.worker.Worker.on_membership_change`), exactly like
   the simulator's churn events. A peer that announced
   :class:`~repro.transport.codec.Bye` first is treated as a graceful
-  departure and produces no callback.
+  departure and produces no callback;
+* **resurrection** — :meth:`PeerMesh.revive` clears a peer's dead
+  state, installs fresh outgoing links at its (new) address, and resets
+  the reconnect episode — the supervisor's rejoin path after a crashed
+  worker is respawned (docs/robustness.md). A superseded link's retry
+  loop can never declare the revived peer dead again;
+* **fault injection** — an optional ``fault_fn(dst, channel)`` is
+  consulted on every send: ``None`` silently drops the frame (blackout
+  / drop windows of a chaos plan), a positive value delays the actual
+  socket write by that many wall seconds. The delay is applied by the
+  link's FIFO sender task, so ordering is preserved (head-of-line
+  blocking, exactly like real added latency on one TCP stream).
 
 Outgoing bytes pass through a per-peer :class:`TokenBucket` so the
 modelled link bandwidth (Table 3, wire-scaled, sped up by the run's
@@ -118,6 +129,7 @@ class PeerMesh:
         tracer=NULL_TRACER,
         now_fn: Callable[[], float] | None = None,
         progress_fn: Callable[[], int] | None = None,
+        fault_fn: Callable[[int, int], float | None] | None = None,
         seed: int = 0,
         host: str = "127.0.0.1",
     ):
@@ -131,6 +143,7 @@ class PeerMesh:
         self._rate_fn = rate_fn
         self._now_fn = now_fn
         self._progress_fn = progress_fn
+        self._fault_fn = fault_fn
         self.tracer = tracer
         self._rng = random.Random(seed * 7919 + worker_id)
 
@@ -240,12 +253,21 @@ class PeerMesh:
         """
         if dst in self._dead or self._closing:
             return False
+        not_before = 0.0
+        if self._fault_fn is not None:
+            verdict = self._fault_fn(dst, channel)
+            if verdict is None:
+                # Injected loss (blackout / drop window): the frame
+                # vanishes exactly as the simulator's _deliver drops it.
+                return False
+            if verdict > 0.0:
+                not_before = asyncio.get_event_loop().time() + verdict
         frame = msg if isinstance(msg, (bytes, bytearray)) else encode_message(msg)
         link = self._out.get((dst, channel))
         if link is None:
             return False
         try:
-            link.queue.put_nowait((bytes(frame), trace_name))
+            link.queue.put_nowait((bytes(frame), trace_name, not_before))
         except asyncio.QueueFull:
             if self._m:
                 self._m.dropped.inc(1, self.worker_id, dst, CHANNEL_NAMES[channel])
@@ -255,6 +277,50 @@ class PeerMesh:
                 link.queue.qsize(), self.worker_id, dst, CHANNEL_NAMES[channel]
             )
         return True
+
+    def revive(self, peer: int, addr: tuple[str, int]) -> None:
+        """Resurrect ``peer`` at a (possibly new) address.
+
+        Clears the dead/graceful state, rebuilds the token bucket, and
+        replaces both channels' links with fresh outboxes and sender
+        tasks pointed at ``addr`` — resetting the reconnect episode.
+        Safe to call even when the peer was never declared dead (e.g.
+        the supervisor respawned it before the retry budget ran out):
+        the old links are superseded, and their in-flight retry loops
+        unwind without side effects (see :meth:`_ensure_connected`).
+        Frames still queued on the old links are abandoned — exactly the
+        in-flight loss a real crash implies.
+        """
+        if self._closing:
+            return
+        self._dead.discard(peer)
+        self._graceful.discard(peer)
+        if self._rate_fn is not None and self.cfg.shape_bandwidth:
+            self._buckets[peer] = TokenBucket(max(1.0, self._rate_fn(peer)))
+        for channel in (CHANNEL_CONTROL, CHANNEL_DATA):
+            old = self._out.get((peer, channel))
+            if old is not None:
+                try:
+                    old.queue.put_nowait(_CLOSE)
+                except asyncio.QueueFull:
+                    pass
+                self._drop_writer(old)
+            link = _OutLink(peer, channel, self.cfg.outbox_capacity)
+            link.addr = tuple(addr)
+            self._out[(peer, channel)] = link
+            link.task = asyncio.ensure_future(self._sender(link))
+            link.task.add_done_callback(self._task_done)
+        if self._m:
+            self._m.revives.inc(1, self.worker_id, peer)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "peer-revived",
+                self.worker_id,
+                TID_NET,
+                self._now_fn() if self._now_fn is not None else 0.0,
+                cat="net",
+                args={"peer": peer, "addr": f"{addr[0]}:{addr[1]}"},
+            )
 
     def live_peers(self) -> list[int]:
         """Peers not (yet) declared dead, in ascending id order."""
@@ -272,10 +338,16 @@ class PeerMesh:
             item = await link.queue.get()
             if item is _CLOSE:
                 return
-            frame, trace_name = item
+            frame, trace_name, not_before = item
+            if not_before:
+                # Injected latency: hold the FIFO head back, so ordering
+                # is preserved (later frames queue behind the delay).
+                pause = not_before - asyncio.get_event_loop().time()
+                if pause > 0:
+                    await asyncio.sleep(pause)
             while True:
                 if not await self._ensure_connected(link):
-                    return  # peer dead; remaining outbox is abandoned
+                    return  # peer dead or link superseded; outbox abandoned
                 bucket = self._buckets.get(link.dst)
                 t0_sim = self._now_fn() if self._now_fn is not None else 0.0
                 if bucket is not None:
@@ -337,14 +409,21 @@ class PeerMesh:
                 pass
             link.writer = None
 
+    def _superseded(self, link: _OutLink) -> bool:
+        """Whether ``link`` was replaced by :meth:`revive` — its retry
+        loop must unwind without declaring the (revived) peer dead."""
+        return self._out.get((link.dst, link.channel)) is not link
+
     async def _ensure_connected(self, link: _OutLink) -> bool:
+        if self._superseded(link):
+            return False
         if link.writer is not None:
             return True
         if link.dst in self._dead or self._closing:
             return False
         with _profile.scope("transport/connect"):
             for attempt in range(self.cfg.retry_attempts):
-                if self._closing:
+                if self._closing or self._superseded(link):
                     return False
                 try:
                     host, port = link.addr
@@ -367,7 +446,8 @@ class PeerMesh:
                         self.cfg.retry_base_s * (2.0 ** attempt),
                     ) * (0.5 + self._rng.random())
                     await asyncio.sleep(delay)
-        self._declare_dead(link.dst)
+        if not self._superseded(link):
+            self._declare_dead(link.dst)
         return False
 
     def _declare_dead(self, peer: int) -> None:
@@ -491,6 +571,11 @@ class _TransportMetrics:
         )
         self.heartbeats = registry.counter(
             "transport_heartbeat_total", "heartbeat rounds sent", ("worker",)
+        )
+        self.revives = registry.counter(
+            "transport_revive_total",
+            "peer resurrections applied (links rebuilt at a new address)",
+            ("worker", "peer"),
         )
         self.outbox_depth = registry.gauge(
             "transport_outbox_depth",

@@ -26,14 +26,31 @@ balance that DLion's controllers react to.
 port-exchange handshake with :class:`~repro.core.live_engine.LiveEngine`
 over a pipe, trains to the horizon, then ships its metrics, series, and
 trace events back for merging.
+
+Crash recovery (docs/robustness.md): when the run spec carries a
+:class:`~repro.transport.checkpoint.CheckpointConfig`, the runtime
+snapshots its full training state every ``interval_s`` modelled
+seconds. A child respawned with ``resume=True`` restores the newest
+readable checkpoint before binding its port, resumes the cluster's
+modelled clock at the offset the supervisor hands it, rejoins the
+active set, and bootstraps freshness with a DKT-style weight pull from
+a live peer. Surviving children receive ``("revive", worker, port)``
+pipe commands and re-open their mesh links to the rejoiner's new port.
+A chaos plan's link faults are injected at send time through the mesh's
+``fault_fn`` hook, with windows on the modelled clock.
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
+import threading
 import traceback
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from repro.cluster.chaos import ChaosPlan, LinkFaultInjector
 from repro.cluster.messages import (
     ControlMessage,
     DktRequestMessage,
@@ -54,7 +71,8 @@ from repro.nn.models import build_model
 from repro.obs import profile as _profile
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import Profiler
-from repro.obs.trace import NULL_TRACER, THREAD_NAMES, Tracer
+from repro.obs.trace import NULL_TRACER, THREAD_NAMES, TID_NET, Tracer
+from repro.transport.checkpoint import CheckpointConfig, load_latest, write_checkpoint
 from repro.transport.codec import Heartbeat
 from repro.transport.mesh import (
     CHANNEL_CONTROL,
@@ -90,10 +108,12 @@ class WallClock:
         self.fired = 0
         self.error_handler = None
 
-    def start(self, loop: asyncio.AbstractEventLoop) -> None:
-        """Anchor modelled t=0 at the current loop time."""
+    def start(self, loop: asyncio.AbstractEventLoop, *, offset: float = 0.0) -> None:
+        """Anchor the clock so the current loop time reads ``offset``
+        modelled seconds (0.0 for a fresh run; a respawned worker is
+        started at the cluster's current modelled time)."""
         self._loop = loop
-        self._t0 = loop.time()
+        self._t0 = loop.time() - offset / self.speedup
 
     @property
     def now(self) -> float:
@@ -140,6 +160,12 @@ class LiveRunSpec:
     # process always computes its own iterations serially — cross-worker
     # parallelism is the processes themselves.
     compute_threads: int = 1
+    # Crash recovery: periodic checkpoints (None disables), the fault
+    # plan driving link blackout/drop/delay injection, and where each
+    # child redirects its stderr (tailed into supervisor error reports).
+    checkpoint: CheckpointConfig | None = None
+    chaos: ChaosPlan | None = None
+    stderr_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.horizon <= 0:
@@ -197,6 +223,8 @@ class LiveWorkerRuntime:
         self._c_queue_dropped = rm.c_queue_dropped
         self._g_active = rm.g_active
         self._c_events = rm.c_events
+        self._c_chaos_dropped = rm.c_chaos_dropped
+        self._g_partition = rm.g_partition
 
         self.tracer = Tracer() if spec.trace else NULL_TRACER
         if self.tracer.enabled:
@@ -250,6 +278,25 @@ class LiveWorkerRuntime:
         # Peer progress, fed by heartbeats (the live GBS input).
         self._peer_samples: dict[int, int] = {}
 
+        # Fault injection (chaos plan): send-time verdicts on the
+        # modelled clock. The rng stream is per-worker so live drop
+        # sampling never perturbs the shared simulator streams.
+        self._fault_injector: LinkFaultInjector | None = None
+        self._active_blackouts = 0
+        if spec.chaos is not None and spec.chaos.link_faults:
+            self._fault_injector = LinkFaultInjector(
+                spec.chaos, self.rng_pool.get(f"chaos/{worker_id}")
+            )
+
+        # Supervisor pipe for throttled progress reports (set by
+        # _child_main); lets the parent time chaos kills deterministically
+        # and compute lost-iteration counts.
+        self.progress_conn = None
+        self._last_progress_wall: float = 0.0
+        # Iteration count restored from a checkpoint (0 = fresh start);
+        # reported to the supervisor so it can compute lost iterations.
+        self.restored_iteration = 0
+
         # Locally-recorded series (shipped to the parent at the end).
         self.acc_series = TimeSeries()
         self.loss_series = TimeSeries()
@@ -271,6 +318,7 @@ class LiveWorkerRuntime:
             tracer=self.tracer,
             now_fn=lambda: self.clock.now,
             progress_fn=lambda: self.worker.sampler.samples_drawn,
+            fault_fn=self._mesh_fault_fn if self._fault_injector else None,
             seed=spec.seed,
             host=spec.host,
         )
@@ -407,6 +455,240 @@ class LiveWorkerRuntime:
         except BaseException as exc:  # noqa: BLE001 - must surface to parent
             self.fail(exc)
 
+    def on_peer_revived(self, peer: int, addr: tuple[str, int]) -> None:
+        """The supervisor respawned ``peer`` at ``addr``: rebuild the
+        mesh links and fold the rejoin into a membership change.
+
+        Always refreshes the links — even when this worker never got
+        around to declaring the peer dead (a fast restart can beat the
+        retry budget), the old links point at a port nobody listens on
+        and must be superseded before their retry loop gives up.
+        """
+        self.mesh.revive(peer, addr)
+        if peer in self.active:
+            return
+        self.active.add(peer)
+        self.active_series.append(self.clock.now, len(self.active))
+        self._g_active.set(len(self.active))
+        try:
+            self.worker.on_membership_change(self.active)
+        except BaseException as exc:  # noqa: BLE001 - must surface to parent
+            self.fail(exc)
+
+    # ------------------------------------------------------------------
+    # Fault injection (chaos plan)
+    # ------------------------------------------------------------------
+    def _mesh_fault_fn(self, dst: int, channel: int) -> float | None:
+        """Send-time chaos verdict: None drops, >0 is extra wall delay."""
+        verdict = self._fault_injector.on_send(self.worker_id, dst, self.clock.now)
+        if verdict is None:
+            self._c_chaos_dropped.inc(1, self.worker_id, dst)
+            return None
+        # The injector speaks modelled seconds; the mesh sleeps in wall.
+        return verdict / self.spec.speedup
+
+    def _schedule_blackout_markers(self) -> None:
+        """Pre-schedule partition-gauge flips and trace instants for
+        every blackout window this worker sends into."""
+        if self.spec.chaos is None:
+            return
+        for f in self.spec.chaos.blackout_windows():
+            srcs = {f.src} | ({f.dst} if f.bidirectional else set())
+            if self.worker_id not in srcs:
+                continue
+            self.clock.schedule_in(
+                max(f.start - self.clock.now, 0.0), self._blackout_edge, f, +1
+            )
+            self.clock.schedule_in(
+                max(f.end - self.clock.now, 0.0), self._blackout_edge, f, -1
+            )
+
+    def _blackout_edge(self, fault, delta: int) -> None:
+        self._active_blackouts = max(0, self._active_blackouts + delta)
+        self._g_partition.set(self._active_blackouts)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "blackout-start" if delta > 0 else "blackout-end",
+                self.worker_id,
+                TID_NET,
+                self.clock.now,
+                cat="chaos",
+                args={"src": fault.src, "dst": fault.dst},
+            )
+
+    # ------------------------------------------------------------------
+    # Checkpointing (crash recovery)
+    # ------------------------------------------------------------------
+    def _layer_state(self) -> tuple[dict, dict]:
+        """(arrays, meta) for per-layer step state: BatchNorm running
+        statistics as arrays, Dropout RNG positions as picklable dicts."""
+        arrays: dict = {}
+        rng_states: dict[int, dict] = {}
+        for i, layer in enumerate(self.worker.model.layers):
+            mean = getattr(layer, "running_mean", None)
+            if mean is not None:
+                arrays[f"__bn{i}/mean"] = mean.copy()
+                arrays[f"__bn{i}/var"] = layer.running_var.copy()
+            rng = getattr(layer, "rng", None)
+            if rng is not None:
+                rng_states[i] = rng.bit_generator.state
+        return arrays, rng_states
+
+    def checkpoint_state(self) -> tuple[dict, dict]:
+        """Everything needed to resume this worker after a SIGKILL."""
+        w = self.worker
+
+        def series(ts: TimeSeries) -> tuple[list[float], list[float]]:
+            return (list(ts.times), list(ts.values))
+
+        arrays = {name: arr.copy() for name, arr in w.model.variables().items()}
+        layer_arrays, layer_rngs = self._layer_state()
+        arrays.update(layer_arrays)
+        gc = self.gbs_controller
+        meta = {
+            "format": 1,
+            "worker": self.worker_id,
+            "seed": self.spec.seed,
+            "n_workers": self.n_workers,
+            "iteration": w.iteration,
+            "model_version": w.model_version,
+            "time": self.clock.now,
+            "samples_drawn": w.sampler.samples_drawn,
+            "rng": {
+                "sampler": w.sampler.rng.bit_generator.state,
+                "worker": w.rng.bit_generator.state,
+                "jitter": self.rng_pool.get(
+                    f"jitter/{self.worker_id}"
+                ).bit_generator.state,
+                "layers": layer_rngs,
+            },
+            "lbs": w.lbs,
+            "gbs": w.gbs,
+            "rcp_table": dict(w.rcp_table),
+            "received_from": dict(w.sync_state.received_from),
+            "dkt": {
+                "losses": list(w.dkt._losses),
+                "shared_losses": dict(w.dkt.shared_losses),
+                "pulls_requested": w.dkt.pulls_requested,
+                "merges_applied": w.dkt.merges_applied,
+            },
+            "iter_time_ema": w._iter_time_ema,
+            "recent_iters": list(w._recent_iters),
+            "stats": {
+                "grad_msgs_sent": w.stats_grad_msgs_sent,
+                "grad_msgs_received": w.stats_grad_msgs_received,
+                "weight_pulls": w.stats_weight_pulls,
+            },
+            "compute_time": w.compute_time,
+            "wait_time": w.wait_time,
+            "gbs_controller": {
+                "gbs": gc.gbs,
+                "phase": gc.phase,
+                "last_growth_epoch": gc._last_growth_epoch,
+            },
+            "peer_samples": dict(self._peer_samples),
+            "metrics": self.metrics.dump_state(),
+            "series": {
+                "accuracy": series(self.acc_series),
+                "loss": series(self.loss_series),
+                "lbs": series(self.lbs_series),
+                "gbs": series(self.gbs_series),
+                "active": series(self.active_series),
+            },
+            "link_entries": {k: series(v) for k, v in self.link_entries.items()},
+            "link_chosen_n": {k: series(v) for k, v in self.link_chosen_n.items()},
+        }
+        return arrays, meta
+
+    def restore_from(self, arrays: dict, meta: dict) -> None:
+        """Rebuild worker state from a checkpoint (before mesh start).
+
+        Weights, RNG stream positions, counters, controller state, and
+        the recorded series come back exactly; anything in flight at
+        the crash (outbox frames, queued peer messages, an unfinished
+        iteration) is lost by design — see docs/robustness.md.
+        """
+        if meta.get("seed") != self.spec.seed or meta.get("worker") != self.worker_id:
+            raise ValueError(
+                f"checkpoint mismatch: written by worker {meta.get('worker')} "
+                f"seed {meta.get('seed')}, restoring as worker "
+                f"{self.worker_id} seed {self.spec.seed}"
+            )
+        w = self.worker
+        weights = {
+            name: arr for name, arr in arrays.items() if not name.startswith("__bn")
+        }
+        w.model.set_weights(weights)
+        for i, layer in enumerate(w.model.layers):
+            mean_key = f"__bn{i}/mean"
+            if mean_key in arrays:
+                np.copyto(layer.running_mean, arrays[mean_key])
+                np.copyto(layer.running_var, arrays[f"__bn{i}/var"])
+            rng = getattr(layer, "rng", None)
+            if rng is not None and i in meta["rng"]["layers"]:
+                rng.bit_generator.state = meta["rng"]["layers"][i]
+        w.sampler.rng.bit_generator.state = meta["rng"]["sampler"]
+        w.rng.bit_generator.state = meta["rng"]["worker"]
+        self.rng_pool.get(f"jitter/{self.worker_id}").bit_generator.state = (
+            meta["rng"]["jitter"]
+        )
+        w.iteration = meta["iteration"]
+        w.model_version = meta["model_version"]
+        w.sync_state.iteration = w.iteration
+        w.sync_state.received_from = dict(meta["received_from"])
+        w.sampler.samples_drawn = meta["samples_drawn"]
+        w.lbs = meta["lbs"]
+        w.gbs = meta["gbs"]
+        w.rcp_table = dict(meta["rcp_table"])
+        w.dkt._losses.extend(meta["dkt"]["losses"])
+        w.dkt.shared_losses = dict(meta["dkt"]["shared_losses"])
+        w.dkt.pulls_requested = meta["dkt"]["pulls_requested"]
+        w.dkt.merges_applied = meta["dkt"]["merges_applied"]
+        w._iter_time_ema = meta["iter_time_ema"]
+        w._recent_iters.extend(tuple(x) for x in meta["recent_iters"])
+        w.stats_grad_msgs_sent = meta["stats"]["grad_msgs_sent"]
+        w.stats_grad_msgs_received = meta["stats"]["grad_msgs_received"]
+        w.stats_weight_pulls = meta["stats"]["weight_pulls"]
+        w.compute_time = meta["compute_time"]
+        w.wait_time = meta["wait_time"]
+        gc = self.gbs_controller
+        gc.gbs = meta["gbs_controller"]["gbs"]
+        gc.phase = meta["gbs_controller"]["phase"]
+        gc._last_growth_epoch = meta["gbs_controller"]["last_growth_epoch"]
+        self._peer_samples = dict(meta["peer_samples"])
+        # Counters add onto a fresh registry: an exact restore.
+        self.metrics.merge_state(meta["metrics"])
+
+        def refill(ts: TimeSeries, pair) -> None:
+            for t, v in zip(*pair):
+                ts.append(t, v)
+
+        refill(self.acc_series, meta["series"]["accuracy"])
+        refill(self.loss_series, meta["series"]["loss"])
+        refill(self.lbs_series, meta["series"]["lbs"])
+        refill(self.gbs_series, meta["series"]["gbs"])
+        refill(self.active_series, meta["series"]["active"])
+        for key, pair in meta["link_entries"].items():
+            refill(self.link_entries.setdefault(tuple(key), TimeSeries()), pair)
+        for key, pair in meta["link_chosen_n"].items():
+            refill(self.link_chosen_n.setdefault(tuple(key), TimeSeries()), pair)
+        self.restored_iteration = w.iteration
+
+    def _checkpoint_tick(self) -> None:
+        if self.stopped:
+            return
+        cfg = self.spec.checkpoint
+        arrays, meta = self.checkpoint_state()
+        write_checkpoint(
+            cfg.directory, self.worker_id, arrays, meta, retention=cfg.retention
+        )
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "checkpoint", self.worker_id, TID_NET, self.clock.now,
+                cat="chaos", args={"iteration": self.worker.iteration},
+            )
+        self.clock.schedule_in(cfg.interval_s, self._checkpoint_tick)
+
     # ------------------------------------------------------------------
     # Engine protocol: progress + the GBS tick
     # ------------------------------------------------------------------
@@ -434,6 +716,27 @@ class LiveWorkerRuntime:
         """Record one iteration's loss (and count the iteration)."""
         self.loss_series.append(self.clock.now, loss)
         self._c_iterations.inc(1, worker)
+        self._report_progress()
+
+    def _report_progress(self) -> None:
+        """Throttled ``("progress", w, iteration, t)`` to the supervisor.
+
+        Cheap (a few dozen bytes, at most ~4 Hz wall) and what lets the
+        parent gate chaos kills on real progress and account for lost
+        iterations after a crash.
+        """
+        if self.progress_conn is None or self.clock._loop is None:
+            return
+        wall = self.clock._loop.time()
+        if wall - self._last_progress_wall < 0.25:
+            return
+        self._last_progress_wall = wall
+        try:
+            self.progress_conn.send(
+                ("progress", self.worker_id, self.worker.iteration, self.clock.now)
+            )
+        except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
+            self.progress_conn = None
 
     def record_lbs(self, worker: int, lbs: int) -> None:
         """Record a local-batch-size change."""
@@ -456,30 +759,93 @@ class LiveWorkerRuntime:
     # ------------------------------------------------------------------
     # Run control
     # ------------------------------------------------------------------
-    def start_training(self, loop: asyncio.AbstractEventLoop) -> None:
-        """Anchor the clock and kick off the worker's training loop."""
-        self.clock.start(loop)
-        self.lbs_series.append(0.0, self.config.initial_lbs)
-        self._g_lbs.set(self.config.initial_lbs, self.worker_id)
-        self.gbs_series.append(0.0, self.gbs_controller.gbs)
-        self._g_gbs.set(self.gbs_controller.gbs)
-        self.active_series.append(0.0, len(self.active))
-        self._g_active.set(len(self.active))
-        if self.config.gbs.enabled:
-            self.clock.schedule_in(self.config.gbs.update_period_s, self._gbs_tick)
-        w = self.worker
-        if self.config.lbs.enabled:
-            cost = w.run_profiling()
-            self.clock.schedule_in(cost, w.try_start_iteration)
-        else:
-            w.try_start_iteration()
+    def start_training(
+        self, loop: asyncio.AbstractEventLoop, *, resume: dict | None = None
+    ) -> None:
+        """Anchor the clock and kick off the worker's training loop.
 
-    async def wait_horizon(self) -> None:
+        ``resume`` (from the supervisor's go message) carries the
+        cluster's current modelled time and active set: the clock jumps
+        to the offset (the crash gap stays visible in every series),
+        the restored worker re-seeds its sync state at its own
+        iteration, and freshness comes from a DKT-style pull against a
+        live peer — the same bootstrap the simulator's join events run.
+        """
+        if resume is None:
+            self.clock.start(loop)
+            self.lbs_series.append(0.0, self.config.initial_lbs)
+            self._g_lbs.set(self.config.initial_lbs, self.worker_id)
+            self.gbs_series.append(0.0, self.gbs_controller.gbs)
+            self._g_gbs.set(self.gbs_controller.gbs)
+            self.active_series.append(0.0, len(self.active))
+            self._g_active.set(len(self.active))
+            if self.config.gbs.enabled:
+                self.clock.schedule_in(
+                    self.config.gbs.update_period_s, self._gbs_tick
+                )
+            w = self.worker
+            if self.config.lbs.enabled:
+                cost = w.run_profiling()
+                self.clock.schedule_in(cost, w.try_start_iteration)
+            else:
+                w.try_start_iteration()
+        else:
+            self.clock.start(loop, offset=float(resume.get("clock_offset", 0.0)))
+            w = self.worker
+            self.active = {self.worker_id} | set(resume.get("active", ()))
+            now = self.clock.now
+            self.active_series.append(now, len(self.active))
+            self._g_active.set(len(self.active))
+            self._g_lbs.set(w.lbs, self.worker_id)
+            self._g_gbs.set(self.gbs_controller.gbs)
+            # Peers have advanced past the checkpoint; re-seed the sync
+            # gate at our own (restored) iteration so neither side
+            # blocks on history the other never saw.
+            w.sync_state.received_from = {p: w.iteration for p in w.peers}
+            w.on_membership_change(self.active)
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "worker-rejoined", self.worker_id, TID_NET, now,
+                    cat="chaos", args={"iteration": w.iteration},
+                )
+            # Freshness bootstrap: DKT-style weight pull from the best
+            # known live peer (first live peer before any loss shares).
+            target = w.dkt.pull_target()
+            if target is None or target == self.worker_id or target not in self.active:
+                candidates = [p for p in sorted(self.active) if p != self.worker_id]
+                target = candidates[0] if candidates else None
+            if target is not None:
+                self.send_control(
+                    self.worker_id,
+                    target,
+                    DktRequestMessage(sender=self.worker_id, iteration=w.iteration),
+                )
+            if self.config.gbs.enabled:
+                self.clock.schedule_in(
+                    self.config.gbs.update_period_s, self._gbs_tick
+                )
+            w.try_start_iteration()
+        if self.spec.checkpoint is not None:
+            self.clock.schedule_in(
+                self.spec.checkpoint.interval_s, self._checkpoint_tick
+            )
+        self._schedule_blackout_markers()
+
+    async def wait_horizon(self, inbox: asyncio.Queue | None = None) -> None:
         """Sleep (in wall time) until the modelled horizon, re-raising
-        the first callback failure as soon as it is recorded."""
+        the first callback failure as soon as it is recorded and
+        applying any supervisor commands (peer revivals) that arrive."""
         while self.clock.now < self.spec.horizon:
             if self._failure is not None:
                 raise self._failure
+            if inbox is not None:
+                while True:
+                    try:
+                        msg = inbox.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                    if msg and msg[0] == "revive":
+                        self.on_peer_revived(msg[1], (self.spec.host, msg[2]))
             remaining_wall = (self.spec.horizon - self.clock.now) / self.spec.speedup
             await asyncio.sleep(min(0.05, max(remaining_wall, 0.001)))
         if self._failure is not None:
@@ -534,33 +900,79 @@ class LiveWorkerRuntime:
         }
 
 
-async def _child_main(worker_id: int, spec: LiveRunSpec, conn) -> None:
+async def _child_main(
+    worker_id: int, spec: LiveRunSpec, conn, resume: bool = False
+) -> None:
     loop = asyncio.get_running_loop()
+    inbox: asyncio.Queue = asyncio.Queue()
+
+    def _pump() -> None:
+        # The pipe pump: a daemon thread blocks on conn.recv() and
+        # forwards every parent message into the event loop, so the
+        # child can react to supervisor commands (peer revivals) at any
+        # point of the run, not just at fixed handshake steps.
+        try:
+            while True:
+                msg = conn.recv()
+                loop.call_soon_threadsafe(inbox.put_nowait, msg)
+        except (EOFError, OSError):
+            try:
+                loop.call_soon_threadsafe(inbox.put_nowait, ("eof",))
+            except RuntimeError:  # pragma: no cover - loop already gone
+                pass
+
     runtime = LiveWorkerRuntime(worker_id, spec)
+    if resume and spec.checkpoint is not None:
+        restored = load_latest(spec.checkpoint.directory, worker_id)
+        if restored is not None:
+            runtime.restore_from(*restored)
+    runtime.progress_conn = conn
+    threading.Thread(target=_pump, name="pipe-pump", daemon=True).start()
     port = await runtime.mesh.start()
-    conn.send(("port", worker_id, port))
-    message = await loop.run_in_executor(None, conn.recv)
+    conn.send(("port", worker_id, port, runtime.restored_iteration))
+    message = await inbox.get()
     if message[0] != "ports":  # pragma: no cover - protocol error
         raise RuntimeError(f"expected port map, got {message[0]!r}")
     port_map = {w: (spec.host, p) for w, p in message[1].items()}
     with runtime.profiled():
         await runtime.mesh.connect(port_map)
     conn.send(("ready", worker_id))
-    message = await loop.run_in_executor(None, conn.recv)
+    message = await inbox.get()
     if message[0] != "go":  # pragma: no cover - protocol error
         raise RuntimeError(f"expected go, got {message[0]!r}")
+    resume_info = message[1] if len(message) > 1 else None
     with runtime.profiled():
-        runtime.start_training(loop)
-        await runtime.wait_horizon()
+        runtime.start_training(loop, resume=resume_info)
+        await runtime.wait_horizon(inbox)
         runtime.finalize()
     await runtime.mesh.close()
     conn.send(("result", worker_id, runtime.result_payload()))
 
 
-def run_live_worker(worker_id: int, spec: LiveRunSpec, conn) -> None:
-    """Child-process entry point (must stay importable for ``spawn``)."""
+def run_live_worker(
+    worker_id: int, spec: LiveRunSpec, conn, resume: bool = False
+) -> None:
+    """Child-process entry point (must stay importable for ``spawn``).
+
+    ``resume=True`` marks a supervised respawn: the child restores its
+    newest checkpoint before handshaking, and ``start_training`` runs
+    the rejoin path with the context the go message carries.
+    """
+    if spec.stderr_dir:
+        # Capture crash output where the supervisor can tail it into
+        # handshake-failure and unexpected-death error reports.
+        try:
+            os.makedirs(spec.stderr_dir, exist_ok=True)
+            log = open(
+                os.path.join(spec.stderr_dir, f"worker{worker_id}.stderr.log"),
+                "ab",
+                buffering=0,
+            )
+            os.dup2(log.fileno(), 2)
+        except OSError:  # pragma: no cover - stderr capture is best-effort
+            pass
     try:
-        asyncio.run(_child_main(worker_id, spec, conn))
+        asyncio.run(_child_main(worker_id, spec, conn, resume))
     except BaseException:  # noqa: BLE001 - everything goes to the parent
         try:
             conn.send(("error", worker_id, traceback.format_exc()))

@@ -125,6 +125,19 @@ class TestFlakyCapacities:
         ]
         assert any(diffs)
 
+    def test_floor_forwarded_to_each_trace(self):
+        """Regression: ``flaky_capacities`` used to swallow ``floor``
+        instead of forwarding it to ``degraded_trace``, so harsh
+        compounding events could push a worker's capacity to ~0."""
+        rng = np.random.default_rng(8)
+        traces = flaky_capacities(
+            [10.0, 10.0], rng, horizon=500.0, rate=0.5,
+            severity=(0.01, 0.02), mean_duration=200.0, floor=0.05,
+        )
+        for t in traces:
+            for probe in np.linspace(0, 499, 60):
+                assert t.value_at(float(probe)) >= 0.5 - 1e-9
+
     def test_trains_through_faults(self):
         """A full engine run on a randomly-degrading cluster still learns."""
         from repro.cluster.compute import ComputeProfile

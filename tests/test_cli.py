@@ -219,3 +219,87 @@ class TestRunBackendsAndWorkers:
         out = capsys.readouterr().out
         assert "accuracy" in out
         assert "iterations" in out
+
+
+class TestRunChaos:
+    """The --chaos / --checkpoint-* validation surface of run."""
+
+    def _plan(self, tmp_path, doc):
+        import json
+
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(doc) if isinstance(doc, dict) else doc)
+        return str(path)
+
+    def test_missing_plan_file(self, capsys):
+        rc = main(
+            ["run", "-e", "Homo A", "--horizon", "5",
+             "--chaos", "/nonexistent/plan.json"]
+        )
+        assert rc == 2
+        assert "bad --chaos plan" in capsys.readouterr().err
+
+    def test_plan_not_json(self, tmp_path, capsys):
+        plan = self._plan(tmp_path, "{not json")
+        rc = main(["run", "-e", "Homo A", "--horizon", "5", "--chaos", plan])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "bad --chaos plan" in err and "not valid JSON" in err
+
+    def test_plan_with_unknown_keys(self, tmp_path, capsys):
+        plan = self._plan(tmp_path, {"crashs": []})
+        rc = main(["run", "-e", "Homo A", "--horizon", "5", "--chaos", plan])
+        assert rc == 2
+        assert "unknown chaos plan keys" in capsys.readouterr().err
+
+    def test_plan_names_out_of_range_worker(self, tmp_path, capsys):
+        # Validation must use the *built* topology size, like --churn.
+        plan = self._plan(
+            tmp_path, {"crashes": [{"time": 1.0, "worker": 5}]}
+        )
+        rc = main(
+            ["run", "-e", "Homo A", "--workers", "3", "--horizon", "5",
+             "--chaos", plan]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "worker 5" in err and "only 3 workers" in err
+
+    def test_sim_run_with_plan(self, tmp_path, capsys):
+        plan = self._plan(
+            tmp_path,
+            {"crashes": [{"time": 6.0, "worker": 2, "restart_after": 5.0}]},
+        )
+        rc = main(
+            ["run", "-e", "Homo A", "-s", "dlion", "--workers", "3",
+             "--horizon", "20", "--chaos", plan]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "active workers" in out
+        assert "->2" in out and "->3" in out
+
+    def test_checkpoint_flags_rejected_on_sim_backend(self, tmp_path, capsys):
+        rc = main(
+            ["run", "-e", "Homo A", "--horizon", "5",
+             "--checkpoint-dir", str(tmp_path)]
+        )
+        assert rc == 2
+        assert "--backend proc" in capsys.readouterr().err
+
+    def test_checkpoint_interval_requires_dir(self, capsys):
+        rc = main(
+            ["run", "-e", "Homo A", "--backend", "proc", "--horizon", "5",
+             "--checkpoint-interval", "2"]
+        )
+        assert rc == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_bad_checkpoint_interval(self, tmp_path, capsys):
+        rc = main(
+            ["run", "-e", "Homo A", "--backend", "proc", "--horizon", "5",
+             "--checkpoint-dir", str(tmp_path),
+             "--checkpoint-interval", "-1"]
+        )
+        assert rc == 2
+        assert "bad checkpoint settings" in capsys.readouterr().err

@@ -9,6 +9,7 @@ These are the acceptance criteria of the live-transport milestone.
 
 import pytest
 
+from repro.cluster.chaos import ChaosPlan, CrashEvent
 from repro.core.engine import TrainingEngine
 from repro.core.live_engine import LiveEngine
 from repro.experiments.environments import get_environment
@@ -159,12 +160,18 @@ class TestChurn:
     def test_killed_worker_surfaces_clean_membership_change(self, setup):
         """SIGKILL one worker: survivors must detect the death through
         the retry budget and fold it into ``on_membership_change`` —
-        and the run must end at the horizon, never hang."""
+        and the run must end at the horizon, never hang.
+
+        The kill is scripted as a chaos plan, so it is placed on the
+        modelled clock and progress-gated: the victim must complete at
+        least one iteration first, which keeps the scenario stable on
+        loaded CI machines."""
         config, topo = setup
+        plan = ChaosPlan(crashes=(CrashEvent(time=2.5, worker=2),))
         engine = LiveEngine(
             config, topo, seed=0, speedup=SPEEDUP, transport=FAST_TRANSPORT
         )
-        result = engine.run(HORIZON, chaos_kill=(0.5, 2))
+        result = engine.run(HORIZON, chaos=plan)
         # The victim reported nothing; the survivors kept training.
         assert result.iterations[2] == 0
         assert result.iterations[0] > 5

@@ -216,6 +216,92 @@ class TestBackpressure:
         asyncio.run(run())
 
 
+class TestRevive:
+    def test_dead_peer_comes_back_at_a_new_address(self):
+        """The supervisor's rejoin path: B crashes, A declares it dead,
+        then ``revive`` points A at the respawned B's new port and
+        traffic flows again."""
+        async def run():
+            registry = MetricsRegistry()
+            a, b = Endpoint(0, metrics=registry), Endpoint(1)
+            await _start_pair(a, b)
+            await b.mesh.close(bye=False)
+
+            async def until_dead():
+                while not a.mesh.is_dead(1):
+                    a.mesh.send(1, CHANNEL_DATA, _grad(0, 0))
+                    await asyncio.sleep(0.02)
+
+            await asyncio.wait_for(until_dead(), 10.0)
+            assert a.mesh.live_peers() == []
+
+            b2 = Endpoint(1)
+            port = await b2.mesh.start()
+            a.mesh.revive(1, ("127.0.0.1", port))
+            assert not a.mesh.is_dead(1)
+            assert a.mesh.live_peers() == [1]
+            assert a.mesh.send(1, CHANNEL_DATA, _grad(0, 42))
+            await _wait_for(lambda: len(b2.received) == 1)
+            await asyncio.gather(a.mesh.close(), b2.mesh.close())
+            peer, ch, msg = b2.received[0]
+            assert (peer, ch, msg.iteration) == (0, CHANNEL_DATA, 42)
+            assert registry.get("transport_revive_total").value(0, 1) == 1
+            assert a.dead == [1]  # the real death was still surfaced once
+
+        asyncio.run(run())
+
+    def test_revive_before_death_declared_supersedes_links(self):
+        """A fast supervisor can revive a peer while the old links are
+        still mid-retry; the stale retry loops must unwind without
+        declaring the revived peer dead."""
+        async def run():
+            a, b = Endpoint(0), Endpoint(1)
+            await _start_pair(a, b)
+            await b.mesh.close(bye=False)
+            # A send lands on the broken link and starts the retry loop.
+            a.mesh.send(1, CHANNEL_DATA, _grad(0, 0))
+            await asyncio.sleep(0.03)
+
+            b2 = Endpoint(1)
+            port = await b2.mesh.start()
+            a.mesh.revive(1, ("127.0.0.1", port))
+            assert a.mesh.send(1, CHANNEL_DATA, _grad(0, 7))
+            await _wait_for(lambda: len(b2.received) == 1)
+            # Give the superseded retry loop time to unwind, then make
+            # sure it never flipped the revived peer back to dead.
+            await asyncio.sleep(0.3)
+            assert not a.mesh.is_dead(1)
+            assert a.dead == []
+            await asyncio.gather(a.mesh.close(), b2.mesh.close())
+
+        asyncio.run(run())
+
+
+class TestTransientDisconnect:
+    def test_severed_tcp_link_redelivers_in_order(self):
+        """Abort the data channel's TCP connection under the sender's
+        feet while it is idle: the next burst must reconnect and arrive
+        complete, exactly once, in FIFO order."""
+        async def run():
+            a, b = Endpoint(0), Endpoint(1)
+            try:
+                await _start_pair(a, b)
+                # Warm the link so a writer exists, then sever it.
+                assert a.mesh.send(1, CHANNEL_DATA, _grad(0, 0))
+                await _wait_for(lambda: len(b.received) == 1)
+                link = a.mesh._out[(1, CHANNEL_DATA)]
+                link.writer.transport.abort()
+                for i in range(1, 16):
+                    assert a.mesh.send(1, CHANNEL_DATA, _grad(0, i))
+                await _wait_for(lambda: len(b.received) == 16)
+            finally:
+                await asyncio.gather(a.mesh.close(), b.mesh.close())
+            assert [m.iteration for _, _, m in b.received] == list(range(16))
+            assert a.dead == [] and b.dead == []
+
+        asyncio.run(run())
+
+
 class TestConfigValidation:
     def test_bad_timeouts_rejected(self):
         with pytest.raises(ValueError):

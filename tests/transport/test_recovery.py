@@ -1,0 +1,134 @@
+"""Crash-recovery acceptance tests for the live backend.
+
+One real 4-worker multi-process run SIGKILLs worker 3 mid-run via a
+chaos plan; the supervisor must respawn it, the child must restore its
+newest checkpoint and rejoin the mesh (revive fanout + DKT bootstrap
+pull), and the recovery metrics/trace spans must land. A sim run of the
+same plan checks cross-backend parity of the recovery accounting.
+"""
+
+import pytest
+
+from repro.cluster.chaos import ChaosPlan, CrashEvent
+from repro.core.engine import TrainingEngine
+from repro.core.live_engine import LiveEngine
+from repro.experiments.environments import get_environment
+from repro.experiments.runner import build_config, build_topology, workload_for
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.transport.mesh import TransportConfig
+
+N_WORKERS = 4
+HORIZON = 40.0
+SPEEDUP = 5.0
+VICTIM = 3
+CRASH_AT = 8.0
+RESTART_AFTER = 6.0
+
+FAST_TRANSPORT = TransportConfig(
+    connect_timeout_s=2.0,
+    send_timeout_s=1.0,
+    retry_base_s=0.02,
+    retry_max_s=0.1,
+    retry_attempts=3,
+    heartbeat_interval_s=0.05,
+)
+
+PLAN = ChaosPlan(
+    crashes=(CrashEvent(time=CRASH_AT, worker=VICTIM, restart_after=RESTART_AFTER),)
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    """(config, topology) for a 4-worker slice of Homo A."""
+    env = get_environment("Homo A")
+    workload = workload_for(env)
+    topo = build_topology(env, workload, n_workers=N_WORKERS)
+    return build_config("dlion", workload), topo
+
+
+@pytest.fixture(scope="module")
+def recovery_run(setup):
+    """The acceptance scenario: kill worker 3 at t=8, respawn at t=14."""
+    config, topo = setup
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    engine = LiveEngine(
+        config,
+        topo,
+        seed=0,
+        speedup=SPEEDUP,
+        transport=FAST_TRANSPORT,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    result = engine.run(HORIZON, chaos=PLAN)
+    return result, tracer, metrics
+
+
+class TestRecoveryRun:
+    def test_victim_resumes_and_everyone_trains(self, recovery_run):
+        result, _, _ = recovery_run
+        assert len(result.iterations) == N_WORKERS
+        assert all(n > 10 for n in result.iterations)
+        # The victim lost wall time to the crash window, so it must
+        # trail the survivors — proof the respawn resumed rather than
+        # some survivor's result being double-counted.
+        assert result.iterations[VICTIM] < max(result.iterations)
+
+    def test_membership_dips_then_recovers(self, recovery_run):
+        result, _, _ = recovery_run
+        values = result.active_workers.values
+        assert values[0] == N_WORKERS
+        assert N_WORKERS - 1 in values
+        assert values[-1] == N_WORKERS
+
+    def test_restart_and_recovery_metrics(self, recovery_run):
+        _, _, metrics = recovery_run
+        restarts = metrics.get("worker_restarts_total")
+        assert restarts.value(VICTIM) == 1
+        for w in range(N_WORKERS):
+            if w != VICTIM:
+                assert restarts.value(w) == 0
+        hist = metrics.get("recovery_time_seconds")
+        assert hist.count(VICTIM) == 1
+        assert hist.sum(VICTIM) > 0.0
+        # Only the victim can lose work to the checkpoint lag.
+        lost = metrics.get("lost_iterations_total")
+        assert {key for key, _ in lost.items()} <= {(VICTIM,)}
+
+    def test_survivors_revived_the_rejoiner(self, recovery_run):
+        _, _, metrics = recovery_run
+        revives = metrics.get("transport_revive_total")
+        for w in range(N_WORKERS):
+            if w != VICTIM:
+                assert revives.value(w, VICTIM) >= 1
+
+    def test_kill_and_recovery_trace_spans(self, recovery_run):
+        _, tracer, _ = recovery_run
+        events = tracer.events()
+        assert any(e.get("name") == "worker-killed" for e in events)
+        recoveries = [
+            e for e in events
+            if e.get("ph") == "X" and e.get("name") == "recovery"
+        ]
+        assert len(recoveries) == 1
+        assert recoveries[0]["args"]["worker"] == VICTIM
+
+
+class TestSimProcParity:
+    def test_sim_records_the_same_recovery_shape(self, setup):
+        """The same plan on the simulator: one restart for the victim,
+        a 4 -> 3 -> 4 active-worker series, and a recovery-time sample
+        equal to the modelled downtime."""
+        config, topo = setup
+        metrics = MetricsRegistry()
+        result = TrainingEngine(
+            config, topo, seed=0, chaos=PLAN, metrics=metrics
+        ).run(HORIZON)
+        assert result.active_workers.values == [4.0, 3.0, 4.0]
+        assert metrics.get("worker_restarts_total").value(VICTIM) == 1
+        hist = metrics.get("recovery_time_seconds")
+        assert hist.count(VICTIM) == 1
+        assert hist.sum(VICTIM) == pytest.approx(RESTART_AFTER)
