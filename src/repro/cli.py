@@ -1,12 +1,13 @@
 """Command-line interface.
 
-Six subcommands::
+Seven subcommands::
 
     repro-dlion list                         # environments, systems, figures
     repro-dlion run  --environment "Hetero SYS A" --system dlion
     repro-dlion compare --environment "Homo B" --systems dlion,ako,gaia
     repro-dlion figure fig11                 # regenerate one paper figure
     repro-dlion report run.trace.json        # summarize a recorded trace
+    repro-dlion status ./statusdir           # read a live run's snapshot
     repro-dlion selftest                     # ~10 s install verification
 
 ``run`` and ``compare`` accept ``--horizon`` (simulated seconds; default
@@ -21,8 +22,14 @@ Perfetto), ``--metrics-out`` (metrics registry JSON), and ``--profile``
 executes the same job as real worker processes over a loopback TCP mesh
 (``--speedup`` maps modelled seconds to wall time, ``--workers``
 truncates the environment, ``--checkpoint-dir``/``--checkpoint-interval``
-enable crash checkpoints; see docs/architecture.md). All output is
-plain text;
+enable crash checkpoints; see docs/architecture.md); its telemetry
+plane adds ``--stats-interval`` (periodic one-line cluster-health
+prints), ``--status-dir`` (an atomically-replaced ``live_status.json``
+that ``repro-dlion status`` — optionally ``--watch`` — reads from
+outside the run), and ``--ship-interval`` (worker telemetry-delta
+cadence; see docs/observability.md). ``report`` also summarizes a
+``--metrics-out`` dump via ``--metrics`` (histogram p50/p95/p99
+tables). All output is plain text;
 benchmark archives land under ``benchmarks/results/`` when figures are
 run through pytest instead.
 """
@@ -142,6 +149,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="proc backend: modelled seconds between checkpoints "
         "(default 5; requires --checkpoint-dir)",
     )
+    run_p.add_argument(
+        "--stats-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="proc backend: print a one-line cluster-health summary "
+        "every N wall seconds",
+    )
+    run_p.add_argument(
+        "--status-dir",
+        metavar="DIR",
+        help="proc backend: maintain an atomically-updated "
+        "live_status.json in DIR for `repro-dlion status`",
+    )
+    run_p.add_argument(
+        "--ship-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="proc backend: wall seconds between worker telemetry-delta "
+        "shipments (default 1; bounds what a crash can lose)",
+    )
     run_p.add_argument("--trace", metavar="PATH",
                        help="write a Chrome-trace JSON of the run "
                        "(load in Perfetto / chrome://tracing)")
@@ -165,8 +194,26 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("name", choices=_FIGURES,
                        help="e.g. fig11, fig09a, table1")
 
-    rep_p = sub.add_parser("report", help="summarize a trace written by run --trace")
-    rep_p.add_argument("trace", help="path to a Chrome-trace JSON file")
+    rep_p = sub.add_parser(
+        "report",
+        help="summarize a trace written by run --trace and/or a "
+        "metrics dump written by run --metrics-out",
+    )
+    rep_p.add_argument("trace", nargs="?", default=None,
+                       help="path to a Chrome-trace JSON file")
+    rep_p.add_argument("--metrics", metavar="PATH",
+                       help="metrics registry JSON (--metrics-out dump): "
+                       "print histogram p50/p95/p99 tables")
+
+    st_p = sub.add_parser(
+        "status",
+        help="read the live_status.json a `run --status-dir` maintains",
+    )
+    st_p.add_argument("dir", help="the --status-dir of a running live job")
+    st_p.add_argument("--watch", action="store_true",
+                      help="re-render until interrupted")
+    st_p.add_argument("--interval", type=float, default=2.0,
+                      help="seconds between --watch refreshes (default 2)")
 
     sub.add_parser("selftest", help="quick installation self-test (~1 min)")
     return parser
@@ -308,6 +355,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.checkpoint_interval is not None and not args.checkpoint_dir:
         print("--checkpoint-interval requires --checkpoint-dir", file=sys.stderr)
         return 2
+    if args.backend != "proc" and (
+        args.stats_interval is not None
+        or args.status_dir
+        or args.ship_interval is not None
+    ):
+        print(
+            "--stats-interval/--status-dir/--ship-interval apply only to "
+            "--backend proc",
+            file=sys.stderr,
+        )
+        return 2
+    for name, value in (
+        ("--stats-interval", args.stats_interval),
+        ("--ship-interval", args.ship_interval),
+    ):
+        if value is not None and value <= 0:
+            print(f"{name} must be positive", file=sys.stderr)
+            return 2
     chaos = None
     if args.chaos:
         from repro.cluster.chaos import ChaosPlan
@@ -381,6 +446,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             profile=args.profile,
             compute_threads=compute_threads,
             checkpoint=checkpoint,
+            ship_interval_s=(
+                args.ship_interval if args.ship_interval is not None else 1.0
+            ),
+            stats_interval_s=args.stats_interval,
+            status_dir=args.status_dir,
         )
         result = engine.run(horizon, chaos=chaos)
     else:
@@ -488,14 +558,56 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.experiments.trace_report import load_trace, render_report
+    from repro.experiments.trace_report import (
+        load_metrics,
+        load_trace,
+        render_metrics_report,
+        render_report,
+    )
 
-    try:
-        events = load_trace(args.trace)
-    except (OSError, ValueError, KeyError) as exc:
-        print(f"cannot read trace: {exc}", file=sys.stderr)
+    if not args.trace and not args.metrics:
+        print("give a trace file and/or --metrics PATH", file=sys.stderr)
         return 2
-    print(render_report(events))
+    if args.trace:
+        try:
+            events = load_trace(args.trace)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot read trace: {exc}", file=sys.stderr)
+            return 2
+        print(render_report(events))
+    if args.metrics:
+        try:
+            dump = load_metrics(args.metrics)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read metrics dump: {exc}", file=sys.stderr)
+            return 2
+        if args.trace:
+            print()
+        print(render_metrics_report(dump))
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.obs.live_status import read_snapshot, render_snapshot
+
+    if args.watch:
+        try:
+            while True:
+                snap = read_snapshot(args.dir)
+                if snap is None:
+                    print(f"(no live status snapshot in {args.dir} yet)")
+                else:
+                    print(render_snapshot(snap))
+                _time.sleep(args.interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            return 0
+    snap = read_snapshot(args.dir)
+    if snap is None:
+        print(f"no live status snapshot in {args.dir}", file=sys.stderr)
+        return 1
+    print(render_snapshot(snap))
     return 0
 
 
@@ -516,6 +628,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_figure(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "status":
+        return _cmd_status(args)
     if args.command == "selftest":
         from repro.selftest import run_selftest
 

@@ -27,6 +27,7 @@ processes to be terminated before the failure is raised.
 
 from __future__ import annotations
 
+import collections
 import multiprocessing
 import os
 import shutil
@@ -38,6 +39,7 @@ from repro.cluster.topology import ClusterTopology
 from repro.core.config import TrainConfig
 from repro.core.engine import RunResult
 from repro.core.run_metrics import RunMetrics
+from repro.obs import live_status
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER
 from repro.transport.checkpoint import CheckpointConfig
@@ -54,6 +56,9 @@ _STDERR_TAIL_BYTES = 2048
 # most this many wall seconds past the due time — the gate must never
 # wedge the run.
 _PROGRESS_GATE_SLACK_S = 10.0
+# How many of each worker's freshest flight-recorder events the status
+# snapshot retains (the full stream still lands in the merged trace).
+_FLIGHT_TAIL_EVENTS = 16
 
 
 class _Child:
@@ -61,7 +66,8 @@ class _Child:
 
     __slots__ = (
         "proc", "conn", "port", "last_iteration", "last_time",
-        "restored_iteration", "restarts",
+        "restored_iteration", "restarts", "stats_prev_iter",
+        "stats_prev_wall",
     )
 
     def __init__(self, proc, conn):
@@ -72,6 +78,8 @@ class _Child:
         self.last_time = 0.0          # its modelled timestamp
         self.restored_iteration = 0   # checkpoint iteration after resume
         self.restarts = 0
+        self.stats_prev_iter = 0      # iteration at the last stats tick
+        self.stats_prev_wall: float | None = None
 
 
 class LiveEngine:
@@ -94,6 +102,9 @@ class LiveEngine:
         restart_budget: int = 0,
         restart_backoff_s: float = 0.5,
         checkpoint: CheckpointConfig | None = None,
+        ship_interval_s: float | None = 1.0,
+        stats_interval_s: float | None = None,
+        status_dir: str | None = None,
     ):
         self.config = config
         self.topology = topology
@@ -118,7 +129,24 @@ class LiveEngine:
             raise ValueError("restart_backoff_s must be >= 0")
         self.restart_backoff_s = float(restart_backoff_s)
         self.checkpoint = checkpoint
+        if ship_interval_s is not None and ship_interval_s <= 0:
+            raise ValueError("ship_interval_s must be positive or None")
+        self.ship_interval_s = ship_interval_s
+        if stats_interval_s is not None and stats_interval_s <= 0:
+            raise ValueError("stats_interval_s must be positive or None")
+        self.stats_interval_s = stats_interval_s
+        self.status_dir = status_dir
         self._stderr_dir: str | None = None
+        # Telemetry-delta stores, reset per run. Metric states are
+        # cumulative snapshots (latest per worker wins); trace streams
+        # and flight events accumulate in arrival order.
+        self._delta_metrics: dict[int, dict] = {}
+        self._delta_info: dict[int, dict] = {}
+        self._delta_trace: dict[int, list] = {}
+        self._delta_flight: dict[int, list] = {}
+        self._flight_tail: dict[int, collections.deque] = {}
+        self.deltas_received = 0
+        self.flight_events: dict[int, list] = {}
 
     # ------------------------------------------------------------------
     def run(
@@ -141,6 +169,13 @@ class LiveEngine:
         """
         if chaos is not None:
             chaos.validate(self.n_workers)
+        self._delta_metrics = {}
+        self._delta_info = {}
+        self._delta_trace = {}
+        self._delta_flight = {}
+        self._flight_tail = {}
+        self.deltas_received = 0
+        self.flight_events = {}
         checkpoint = self.checkpoint
         tmp_ckpt_dir = None
         needs_checkpoint = self.restart_budget > 0 or (
@@ -166,6 +201,7 @@ class LiveEngine:
             checkpoint=checkpoint,
             chaos=chaos,
             stderr_dir=self._stderr_dir,
+            ship_interval_s=self.ship_interval_s,
         )
         if self.compute_threads > 1:
             # The worker processes are the parallel compute stage here;
@@ -374,8 +410,18 @@ class LiveEngine:
         # Scheduled respawns: [{at, worker, detected, lost_baseline}].
         respawns: list[dict] = []
 
+        # Cluster-health emission cadence: the --stats-interval print and
+        # the --status-dir snapshot share one tick.
+        stats_every = self.stats_interval_s
+        if stats_every is None and self.status_dir is not None:
+            stats_every = 1.0
+        last_stats = go_t0
+
         while pending:
             now = time.monotonic()
+            if stats_every is not None and now - last_stats >= stats_every:
+                last_stats = now
+                self._emit_stats(children, killed, go_t0, now, horizon)
             awaiting = {r["worker"] for r in respawns}
             if now > deadline:
                 # Hang-proofing: a worker that outlives the horizon plus
@@ -406,6 +452,8 @@ class LiveEngine:
                     if msg[0] == "progress":
                         c.last_iteration = msg[2]
                         c.last_time = msg[3]
+                    elif msg[0] == "delta":
+                        self._note_delta(c, w, msg[2])
                     elif msg[0] == "result":
                         payloads[w] = msg[2]
                         pending.discard(w)
@@ -464,6 +512,8 @@ class LiveEngine:
                     if msg[0] == "progress":
                         c.last_iteration = msg[2]
                         c.last_time = msg[3]
+                    elif msg[0] == "delta":
+                        self._note_delta(c, w, msg[2])
                     elif msg[0] == "error":
                         raise RuntimeError(
                             f"live worker {w} failed:\n{msg[2]}"
@@ -569,6 +619,115 @@ class LiveEngine:
             )
 
     # ------------------------------------------------------------------
+    # Telemetry deltas and cluster health
+    # ------------------------------------------------------------------
+    def _note_delta(self, c: _Child, w: int, payload: dict) -> None:
+        """Fold one in-flight telemetry delta from worker ``w``.
+
+        Metric states are cumulative snapshots, so the newest one simply
+        replaces its predecessor (idempotent, no double-count); trace
+        streams and drained flight events are incremental and accumulate.
+        A respawned worker's deltas overwrite its previous incarnation's
+        metric snapshot the same way — latest wins.
+        """
+        c.last_iteration = payload["iteration"]
+        c.last_time = payload["time"]
+        self._delta_metrics[w] = payload["metrics"]
+        self._delta_info[w] = {
+            "iteration": payload["iteration"],
+            "time": payload["time"],
+            "samples_drawn": payload.get("samples_drawn", 0),
+        }
+        if payload.get("trace_events"):
+            self._delta_trace.setdefault(w, []).extend(payload["trace_events"])
+        flight = payload.get("flight") or []
+        if flight:
+            self._delta_flight.setdefault(w, []).extend(flight)
+            tail = self._flight_tail.setdefault(
+                w, collections.deque(maxlen=_FLIGHT_TAIL_EVENTS)
+            )
+            tail.extend(flight)
+        self.deltas_received += 1
+
+    def _emit_stats(
+        self,
+        children: dict[int, _Child],
+        killed: set[int],
+        go_t0: float,
+        now: float,
+        horizon: float,
+    ) -> None:
+        """One cluster-health tick: print a line and/or write a snapshot."""
+        workers: dict[int, dict] = {}
+        t_model = 0.0
+        for w, c in sorted(children.items()):
+            alive = c.proc.is_alive() and w not in killed
+            prev_wall = c.stats_prev_wall
+            rate = 0.0
+            if prev_wall is not None and now > prev_wall:
+                rate = (c.last_iteration - c.stats_prev_iter) / (now - prev_wall)
+            c.stats_prev_iter = c.last_iteration
+            c.stats_prev_wall = now
+            workers[w] = {
+                "iteration": c.last_iteration,
+                "time": round(c.last_time, 3),
+                "rate": round(max(rate, 0.0), 3),
+                "alive": alive,
+                "restarts": c.restarts,
+            }
+            if alive:
+                t_model = max(t_model, c.last_time)
+        snapshot = live_status.build_snapshot(
+            time_model_s=t_model,
+            horizon_s=horizon,
+            wall_elapsed_s=now - go_t0,
+            speedup=self.speedup,
+            workers=workers,
+            cluster=self._cluster_health(),
+            flight_tail={w: list(t) for w, t in self._flight_tail.items()},
+        )
+        if self.stats_interval_s is not None:
+            print(live_status.render_health_line(snapshot), flush=True)
+        if self.status_dir is not None:
+            live_status.write_snapshot(self.status_dir, snapshot)
+
+    def _cluster_health(self) -> dict:
+        """Aggregate the latest per-worker delta metric snapshots.
+
+        Folds every worker's cumulative snapshot into one throwaway
+        registry (cheap at stats cadence) and reads the cluster-wide
+        transport numbers off it.
+        """
+        reg = MetricsRegistry()
+        for state in self._delta_metrics.values():
+            reg.merge_state(state)
+
+        def total(name):
+            fam = reg.get(name)
+            return sum(v for _, v in fam.items()) if fam is not None else 0
+
+        def peak(name):
+            fam = reg.get(name)
+            vals = [v for _, v in fam.items()] if fam is not None else []
+            return max(vals) if vals else 0
+
+        lat = reg.get("transport_frame_latency_seconds")
+        return {
+            "frame_latency_p99_s": (
+                lat.percentile_all(0.99) if lat is not None else None
+            ),
+            "send_msgs_total": total("transport_send_msgs_total"),
+            "send_bytes_total": total("transport_send_bytes_total"),
+            "stall_seconds_total": round(
+                total("transport_stall_seconds_total"), 3
+            ),
+            "outbox_depth_max": peak("transport_outbox_depth"),
+            "queue_depth_max": peak("queue_depth"),
+            "queue_dropped_total": total("queue_dropped_total"),
+            "deltas_received": self.deltas_received,
+        }
+
+    # ------------------------------------------------------------------
     # Result merging
     # ------------------------------------------------------------------
     def _merge(
@@ -600,8 +759,41 @@ class LiveEngine:
             for key, pair in payload["link_chosen_n"].items():
                 fill(result.link_chosen_n.setdefault(tuple(key), TimeSeries()), pair)
             self.metrics.merge_state(payload["metrics"])
-            if self.tracer.enabled and payload["trace_events"]:
-                self.tracer.ingest(payload["trace_events"])
+
+        # Crash safety: a worker that never reported a final result (a
+        # no-restart casualty, or one SIGKILLed mid-respawn) is restored
+        # from its newest shipped delta — its metrics and progress
+        # survive up to one shipping interval behind the kill. A final
+        # payload supersedes every delta from the same worker (both are
+        # cumulative snapshots; merging both would double-count).
+        for w in range(self.n_workers):
+            if w in payloads:
+                continue
+            state = self._delta_metrics.get(w)
+            if state:
+                self.metrics.merge_state(state)
+            info = self._delta_info.get(w)
+            if info:
+                result.iterations[w] = info["iteration"]
+
+        # Trace and flight streams are incremental (deltas carry events
+        # past the previous cursor; the final payload carries the tail
+        # past the last delta), so per worker: delta stream first, then
+        # the final tail — concatenation with no duplicates.
+        for w in range(self.n_workers):
+            payload = payloads.get(w)
+            trace_stream = list(self._delta_trace.get(w, ()))
+            if payload is not None and payload["trace_events"]:
+                trace_stream.extend(payload["trace_events"])
+            if self.tracer.enabled and trace_stream:
+                self.tracer.ingest(trace_stream)
+            flight = list(self._delta_flight.get(w, ()))
+            if payload is not None and payload.get("flight"):
+                flight.extend(payload["flight"])
+            if flight:
+                self.flight_events[w] = flight
+                if self.tracer.enabled:
+                    self.tracer.ingest(flight)
 
         # GBS and membership are cluster-wide series every worker records
         # its own view of; take the lowest surviving worker's.

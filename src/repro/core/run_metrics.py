@@ -9,16 +9,33 @@ parity tests compare. Registering the families in one place keeps the
 two backends from drifting.
 
 The catalog is documented in ``docs/observability.md``. Transport-layer
-families (``transport_*``) are registered separately by
-:class:`repro.transport.mesh.PeerMesh` because only the live backend
-has real sockets to account for.
+families (``transport_*``) live in :class:`TransportMetrics` below —
+they are instantiated by :class:`repro.transport.mesh.PeerMesh` because
+only the live backend has real sockets to account for, but their names,
+label schemas, and buckets are catalogued here next to everything else
+so the two backends (and the telemetry docs) read one source of truth.
 """
 
 from __future__ import annotations
 
 from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["RunMetrics"]
+__all__ = ["RunMetrics", "TransportMetrics"]
+
+# Wire frames range from padded control messages (~128 B) to dense
+# full-model weight snapshots (MBs); log-spaced byte buckets cover both.
+FRAME_BYTES_BUCKETS = (
+    128.0, 512.0, 2048.0, 8192.0, 32768.0, 131072.0,
+    524288.0, 2097152.0, 8388608.0,
+)
+
+# Frame latency = enqueue to drained write. Loopback sits in the
+# sub-millisecond range; shaped (token-bucket paced) links reach
+# seconds, so the buckets span both regimes.
+FRAME_LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
 
 
 class RunMetrics:
@@ -125,4 +142,88 @@ class RunMetrics:
         )
         self.c_profile_calls = m.counter(
             "profile_calls_total", "profiler scope entries", ("scope",)
+        )
+
+
+class TransportMetrics:
+    """The ``transport_*`` families recorded by the live mesh.
+
+    Same idempotent get-or-create discipline as :class:`RunMetrics`;
+    :class:`repro.transport.mesh.PeerMesh` instantiates this when a
+    registry is attached (sim-backend dumps carry no empty transport
+    series). Per-link telemetry labels directed edges ``(src, dst)``
+    plus the channel name (``control`` / ``data``).
+    """
+
+    def __init__(self, registry: MetricsRegistry):
+        m = registry
+        self.registry = registry
+        self.connects = m.counter(
+            "transport_connect_total",
+            "successful outgoing transport connections", ("worker", "peer"),
+        )
+        self.reconnects = m.counter(
+            "transport_reconnect_total",
+            "connections re-established after an established link dropped",
+            ("worker", "peer"),
+        )
+        self.retries = m.counter(
+            "transport_retry_total",
+            "failed connection attempts (incl. backoff retries)",
+            ("worker", "peer"),
+        )
+        self.send_bytes = m.counter(
+            "transport_send_bytes_total",
+            "bytes actually written per directed link and channel",
+            ("src", "dst", "channel"),
+        )
+        self.send_msgs = m.counter(
+            "transport_send_msgs_total",
+            "frames actually written per directed link and channel",
+            ("src", "dst", "channel"),
+        )
+        self.dropped = m.counter(
+            "transport_dropped_total",
+            "frames dropped (outbox full or peer declared dead)",
+            ("src", "dst", "channel"),
+        )
+        self.heartbeats = m.counter(
+            "transport_heartbeat_total", "heartbeat rounds sent", ("worker",)
+        )
+        self.revives = m.counter(
+            "transport_revive_total",
+            "peer resurrections applied (links rebuilt at a new address)",
+            ("worker", "peer"),
+        )
+        self.outbox_depth = m.gauge(
+            "transport_outbox_depth",
+            "queued frames per outgoing link",
+            ("worker", "dst", "channel"),
+        )
+        self.outbox_high_water = m.gauge(
+            "transport_outbox_high_water",
+            "deepest the outgoing link's outbox has ever been",
+            ("worker", "dst", "channel"),
+        )
+        self.h_frame_latency = m.histogram(
+            "transport_frame_latency_seconds",
+            "enqueue-to-drained-write latency per frame",
+            ("src", "dst", "channel"),
+            buckets=FRAME_LATENCY_BUCKETS,
+        )
+        self.h_frame_bytes = m.histogram(
+            "transport_frame_bytes",
+            "wire size of frames actually written",
+            ("src", "dst", "channel"),
+            buckets=FRAME_BYTES_BUCKETS,
+        )
+        self.stall_seconds = m.counter(
+            "transport_stall_seconds_total",
+            "wall seconds sender tasks slept in the token-bucket shaper",
+            ("src", "dst"),
+        )
+        self.hb_rtt = m.gauge(
+            "transport_heartbeat_rtt_seconds",
+            "latest heartbeat round-trip time (send to echoed ack)",
+            ("worker", "peer"),
         )

@@ -16,8 +16,15 @@ import pathlib
 from collections import defaultdict
 
 from repro.experiments.reporting import format_table
+from repro.obs.metrics import percentile_from_sample
 
-__all__ = ["load_trace", "summarize_trace", "render_report"]
+__all__ = [
+    "load_trace",
+    "summarize_trace",
+    "render_report",
+    "load_metrics",
+    "render_metrics_report",
+]
 
 
 def load_trace(path: str | pathlib.Path) -> list[dict]:
@@ -176,3 +183,70 @@ def render_report(events: list[dict]) -> str:
         sections.append(f"DKT activity   : {counts}")
 
     return "\n".join(sections)
+
+
+def load_metrics(path: str | pathlib.Path) -> dict:
+    """Read a ``--metrics-out`` registry dump (name -> family record)."""
+    doc = json.loads(pathlib.Path(path).read_text())
+    if not isinstance(doc, dict) or any(
+        not isinstance(v, dict) or "kind" not in v for v in doc.values()
+    ):
+        raise ValueError(f"{path}: not a metrics registry dump")
+    return doc
+
+
+def _series_label(labels: dict) -> str:
+    if not labels:
+        return "-"
+    return ",".join(f"{k}={v}" for k, v in labels.items())
+
+
+def render_metrics_report(dump: dict) -> str:
+    """Latency/size distribution tables from a ``--metrics-out`` dump.
+
+    One table per histogram family, one row per label series with the
+    count, mean, and p50/p95/p99 estimated from the cumulative buckets
+    (re-derived via :func:`percentile_from_sample` when a dump predates
+    the exported percentile keys).
+    """
+    sections = []
+    for name, fam in sorted(dump.items()):
+        if fam.get("kind") != "histogram" or not fam.get("samples"):
+            continue
+        rows = []
+        for rec in fam["samples"]:
+            count = rec.get("count", 0)
+            if not count:
+                continue
+            mean = rec.get("sum", 0.0) / count
+
+            def pick(key, q, rec=rec):
+                if key in rec:
+                    return rec[key]
+                return percentile_from_sample(rec, q)
+
+            def fmt(v):
+                return "-" if v is None else f"{v:.6g}"
+
+            rows.append(
+                [
+                    _series_label(rec.get("labels", {})),
+                    count,
+                    f"{mean:.6g}",
+                    fmt(pick("p50", 0.50)),
+                    fmt(pick("p95", 0.95)),
+                    fmt(pick("p99", 0.99)),
+                    fmt(rec.get("max")),
+                ]
+            )
+        if not rows:
+            continue
+        sections.append(f"\n{name} ({fam.get('help', '')}):")
+        sections.append(
+            format_table(
+                ["series", "count", "mean", "p50", "p95", "p99", "max"], rows
+            )
+        )
+    if not sections:
+        return "no histogram samples in this metrics dump"
+    return "\n".join(sections).lstrip("\n")

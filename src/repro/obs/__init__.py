@@ -13,12 +13,28 @@ Three independent instruments share this package (see
   hot paths. Answers "where does the **wall clock** go" for ``BENCH_*``
   runs and perf work.
 
-All three default to off (or to a no-op implementation) so the
+The live backend's telemetry plane adds two more:
+
+* :mod:`repro.obs.flight` — a bounded per-worker ring of instant events
+  (the flight recorder) drained with each telemetry delta, so the last
+  moments before a crash survive the crash.
+* :mod:`repro.obs.live_status` — the supervisor's atomically-replaced
+  cluster-health snapshot (``live_status.json``) and its renderers.
+
+All instruments default to off (or to a no-op implementation) so the
 simulator's hot path pays only an ``enabled`` check when nothing is
 observing.
 """
 
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.flight import FlightRecorder
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile_from_buckets,
+    percentile_from_sample,
+)
 from repro.obs.profile import Profiler, activate, active_profiler, scope
 from repro.obs.trace import (
     NULL_TRACER,
@@ -44,6 +60,9 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "FlightRecorder",
+    "percentile_from_buckets",
+    "percentile_from_sample",
     "Profiler",
     "activate",
     "active_profiler",

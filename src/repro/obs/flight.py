@@ -1,0 +1,83 @@
+"""Flight recorder: a bounded ring of recent noteworthy events.
+
+Chaos postmortems need to know what a worker was doing *right before*
+it was SIGKILLed — but the full tracer may be disabled (tracing every
+iteration is expensive) and end-of-run merging never happens for a
+process that dies. The flight recorder is the black box for that case:
+a small fixed-capacity ring that any subsystem can drop an event into,
+cheap enough to leave on unconditionally, drained and shipped to the
+supervisor with every telemetry delta (see ``docs/observability.md``).
+
+Events are stored directly in Chrome-trace instant form (``ph: "i"``,
+``cat: "flight"``) so the supervisor can ``Tracer.ingest`` them into
+the merged trace document with no translation, and so a snapshot file's
+``flight_tail`` can be pasted straight into a trace viewer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+__all__ = ["FlightRecorder", "FLIGHT_CAT"]
+
+FLIGHT_CAT = "flight"
+
+# One flight event is a small dict; 256 of them is a few tens of KB —
+# bounded regardless of run length or how chatty a failing subsystem is.
+DEFAULT_CAPACITY = 256
+
+
+class FlightRecorder:
+    """Fixed-capacity ring of Chrome-trace instant events."""
+
+    def __init__(self, worker_id: int, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.worker_id = worker_id
+        self.capacity = capacity
+        self._ring: deque[dict] = deque(maxlen=capacity)
+        self.recorded = 0  # lifetime count, including overwritten events
+        self.drained = 0
+
+    def record(
+        self,
+        name: str,
+        t_s: float,
+        args: dict[str, Any] | None = None,
+        *,
+        tid: int = 0,
+    ) -> None:
+        """Append one event at simulated time ``t_s`` (seconds)."""
+        ev = {
+            "ph": "i",
+            "name": name,
+            "cat": FLIGHT_CAT,
+            "pid": self.worker_id,
+            "tid": tid,
+            "ts": round(t_s * 1e6, 3),
+            "s": "t",
+        }
+        if args:
+            ev["args"] = args
+        self._ring.append(ev)
+        self.recorded += 1
+
+    def drain(self) -> list[dict]:
+        """Remove and return everything currently in the ring (oldest first).
+
+        Called at each delta ship: events already shipped are not resent,
+        so the supervisor's accumulated stream plus the final ring equals
+        the full (capacity-bounded) event history.
+        """
+        out = list(self._ring)
+        self._ring.clear()
+        self.drained += len(out)
+        return out
+
+    def peek(self) -> list[dict]:
+        """The current ring contents without draining (oldest first)."""
+        return list(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)

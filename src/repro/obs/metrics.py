@@ -21,12 +21,91 @@ import pathlib
 from bisect import bisect_left
 from typing import Iterable, Sequence
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "percentile_from_buckets",
+    "percentile_from_sample",
+]
 
 # Latency-flavoured default buckets (seconds); +inf is implicit.
 DEFAULT_BUCKETS = (
     0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0
 )
+
+# Percentiles included in every histogram export (p50/p95/p99 keys).
+EXPORT_PERCENTILES = (0.50, 0.95, 0.99)
+
+
+def percentile_from_buckets(
+    edges: Sequence[float],
+    cumulative: Sequence[int],
+    q: float,
+    *,
+    minimum: float | None = None,
+    maximum: float | None = None,
+) -> float | None:
+    """Estimate the ``q``-quantile from cumulative bucket counts.
+
+    ``edges`` are the finite upper bucket bounds; ``cumulative`` has one
+    entry per edge plus a final entry for the implicit ``+inf`` bucket
+    (so ``cumulative[-1]`` is the total observation count). Linear
+    interpolation within the landing bucket, Prometheus
+    ``histogram_quantile`` style; observations that land in the ``+inf``
+    bucket resolve to ``maximum`` when known (else the last finite
+    edge). Returns ``None`` when the series is empty.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if len(cumulative) != len(edges) + 1:
+        raise ValueError(
+            f"cumulative counts must cover every edge plus +inf: "
+            f"{len(edges)} edge(s) but {len(cumulative)} count(s)"
+        )
+    total = cumulative[-1]
+    if total == 0:
+        return None
+    rank = q * total
+    i = 0
+    while i < len(cumulative) and cumulative[i] < rank:
+        i += 1
+    if i >= len(edges):  # +inf bucket: no finite upper bound to lerp to
+        return maximum if maximum is not None else edges[-1]
+    below = cumulative[i - 1] if i else 0
+    in_bucket = cumulative[i] - below
+    lower = edges[i - 1] if i else (minimum if minimum is not None else 0.0)
+    upper = edges[i]
+    if in_bucket <= 0:
+        value = upper
+    else:
+        value = lower + (upper - lower) * (rank - below) / in_bucket
+    if minimum is not None:
+        value = max(value, minimum)
+    if maximum is not None:
+        value = min(value, maximum)
+    return value
+
+
+def percentile_from_sample(sample: dict, q: float) -> float | None:
+    """Quantile from one exported histogram sample (``samples()`` form).
+
+    Accepts the ``{"buckets": [{"le": ..., "count": ...}, ...]}`` record
+    that :meth:`Histogram.samples` / ``to_dict`` emit (the ``+inf``
+    entry may be the string ``"+inf"``). Lets ``report`` summarise
+    metric dumps written by older runs that predate inline percentiles.
+    """
+    buckets = sample["buckets"]
+    edges = [b["le"] for b in buckets if b["le"] != "+inf"]
+    cumulative = [b["count"] for b in buckets]
+    if len(cumulative) == len(edges):  # dump without an explicit +inf row
+        cumulative.append(sample["count"])
+    return percentile_from_buckets(
+        edges, cumulative, q,
+        minimum=sample.get("min"), maximum=sample.get("max"),
+    )
 
 
 class _Family:
@@ -190,26 +269,78 @@ class Histogram(_Family):
         """``(label_values, state)`` pairs in first-seen order."""
         return self._states.items()
 
+    def _cumulative(self, st: _HistogramState) -> list[int]:
+        out, running = [], 0
+        for c in st.bucket_counts:
+            running += c
+            out.append(running)
+        return out
+
+    def percentile(self, q: float, *labels) -> float | None:
+        """Estimated ``q``-quantile for one series (None if empty)."""
+        state = self._states.get(self._key(labels))
+        if state is None or state.count == 0:
+            return None
+        return percentile_from_buckets(
+            self.buckets, self._cumulative(state), q,
+            minimum=state.min, maximum=state.max,
+        )
+
+    def percentile_all(self, q: float) -> float | None:
+        """Estimated ``q``-quantile pooled across every series.
+
+        Bucket counts from all label combinations are summed before
+        estimation — the cluster-wide view (e.g. p99 frame latency over
+        every link) rather than a per-series one.
+        """
+        pooled = [0] * (len(self.buckets) + 1)
+        lo, hi, total = float("inf"), float("-inf"), 0
+        for st in self._states.values():
+            for i, c in enumerate(st.bucket_counts):
+                pooled[i] += c
+            total += st.count
+            if st.count:
+                lo = min(lo, st.min)
+                hi = max(hi, st.max)
+        if total == 0:
+            return None
+        running = 0
+        cumulative = []
+        for c in pooled:
+            running += c
+            cumulative.append(running)
+        return percentile_from_buckets(
+            self.buckets, cumulative, q, minimum=lo, maximum=hi
+        )
+
     def samples(self) -> list[dict]:
-        """Export form: cumulative buckets plus count/sum/min/max."""
+        """Export form: cumulative buckets, count/sum/min/max, p50/95/99."""
         out = []
         for key, st in self._states.items():
-            cumulative = []
-            running = 0
-            for edge, c in zip(self.buckets, st.bucket_counts):
-                running += c
-                cumulative.append({"le": edge, "count": running})
-            cumulative.append({"le": "+inf", "count": st.count})
-            out.append(
-                {
-                    "labels": self._label_dict(key),
-                    "count": st.count,
-                    "sum": st.sum,
-                    "min": st.min if st.count else None,
-                    "max": st.max if st.count else None,
-                    "buckets": cumulative,
-                }
-            )
+            cumulative = self._cumulative(st)
+            bucket_rows = [
+                {"le": edge, "count": c}
+                for edge, c in zip(self.buckets, cumulative)
+            ]
+            bucket_rows.append({"le": "+inf", "count": st.count})
+            record = {
+                "labels": self._label_dict(key),
+                "count": st.count,
+                "sum": st.sum,
+                "min": st.min if st.count else None,
+                "max": st.max if st.count else None,
+                "buckets": bucket_rows,
+            }
+            for q in EXPORT_PERCENTILES:
+                record[f"p{int(q * 100)}"] = (
+                    percentile_from_buckets(
+                        self.buckets, cumulative, q,
+                        minimum=st.min, maximum=st.max,
+                    )
+                    if st.count
+                    else None
+                )
+            out.append(record)
         return out
 
 

@@ -204,6 +204,21 @@ class Tracer:
         """All recorded events, metadata first, in emission order."""
         return self._meta + self._events
 
+    def delta_events(self, cursor: int) -> tuple[list[dict], int]:
+        """Events recorded since ``cursor``, plus the new cursor.
+
+        The incremental counterpart of :meth:`events`, used by the live
+        backend's delta shipping: each call returns every non-metadata
+        event appended since the previous cursor, prefixed with the
+        *full* metadata list (ingest deduplicates metadata, so resending
+        it is idempotent and keeps any partial stream self-describing).
+        Pass ``0`` for the first call and the returned cursor thereafter.
+        """
+        fresh = self._events[cursor:]
+        if not fresh:
+            return [], len(self._events)
+        return self._meta + fresh, len(self._events)
+
     def __len__(self) -> int:
         return len(self._events)
 
@@ -243,6 +258,10 @@ class NullTracer:
     def events(self) -> list[dict]:
         """Always empty."""
         return []
+
+    def delta_events(self, cursor: int) -> tuple[list[dict], int]:
+        """Always empty; the cursor never advances."""
+        return [], 0
 
     def __len__(self) -> int:
         return 0

@@ -58,6 +58,7 @@ __all__ = [
     "SIZE_SLACK_PER_VAR",
     "T_HELLO",
     "T_HEARTBEAT",
+    "T_HEARTBEAT_ACK",
     "T_BYE",
     "T_GRADIENT",
     "T_WEIGHTS",
@@ -67,6 +68,7 @@ __all__ = [
     "T_CONTROL",
     "Hello",
     "Heartbeat",
+    "HeartbeatAck",
     "Bye",
     "encode_message",
     "decode_message",
@@ -91,6 +93,7 @@ MAX_BODY_BYTES = 1 << 30
 T_HELLO = 1
 T_HEARTBEAT = 2
 T_BYE = 3
+T_HEARTBEAT_ACK = 4
 T_GRADIENT = 16
 T_WEIGHTS = 17
 T_LOSS_SHARE = 18
@@ -114,7 +117,8 @@ _DKT_REQUEST = struct.Struct("<II")  # sender, iteration
 _RCP_SHARE = struct.Struct("<Id")  # sender, rcp
 _CONTROL_PREFIX = struct.Struct("<IHI")  # sender, kind_len, payload_len
 _HELLO = struct.Struct("<IB")  # sender, channel
-_HEARTBEAT = struct.Struct("<IQd")  # sender, samples_drawn, sim time
+_HEARTBEAT = struct.Struct("<IQdd")  # sender, samples_drawn, sim time, wall
+_HEARTBEAT_ACK = struct.Struct("<Id")  # sender, echoed wall timestamp
 _BYE = struct.Struct("<I")  # sender
 
 
@@ -132,11 +136,26 @@ class Hello:
 
 @dataclass(frozen=True)
 class Heartbeat:
-    """Liveness + progress beacon (control channel, periodic)."""
+    """Liveness + progress beacon (control channel, periodic).
+
+    ``wall`` is the sender's monotonic wall clock at send time; the
+    receiver echoes it back verbatim in a :class:`HeartbeatAck` so the
+    sender can compute a round-trip time against its own clock (no
+    cross-process clock comparison is ever made).
+    """
 
     sender: int
     samples_drawn: int
     time: float
+    wall: float = 0.0
+
+
+@dataclass(frozen=True)
+class HeartbeatAck:
+    """Echo of a heartbeat's wall timestamp, for RTT measurement."""
+
+    sender: int
+    echo_wall: float
 
 
 @dataclass(frozen=True)
@@ -225,8 +244,11 @@ def encode_message(msg) -> bytes:
     if isinstance(msg, Hello):
         return _frame(T_HELLO, _HELLO.pack(msg.sender, msg.channel), pad_to=CONTROL_MESSAGE_BYTES)
     if isinstance(msg, Heartbeat):
-        body = _HEARTBEAT.pack(msg.sender, msg.samples_drawn, msg.time)
+        body = _HEARTBEAT.pack(msg.sender, msg.samples_drawn, msg.time, msg.wall)
         return _frame(T_HEARTBEAT, body, pad_to=CONTROL_MESSAGE_BYTES)
+    if isinstance(msg, HeartbeatAck):
+        body = _HEARTBEAT_ACK.pack(msg.sender, msg.echo_wall)
+        return _frame(T_HEARTBEAT_ACK, body, pad_to=CONTROL_MESSAGE_BYTES)
     if isinstance(msg, Bye):
         return _frame(T_BYE, _BYE.pack(msg.sender), pad_to=CONTROL_MESSAGE_BYTES)
     raise CodecError(f"cannot encode {type(msg).__name__}")
@@ -323,6 +345,7 @@ _DECODERS = {
     T_CONTROL: _decode_control,
     T_HELLO: lambda b: Hello(*_HELLO.unpack_from(b)),
     T_HEARTBEAT: lambda b: Heartbeat(*_HEARTBEAT.unpack_from(b)),
+    T_HEARTBEAT_ACK: lambda b: HeartbeatAck(*_HEARTBEAT_ACK.unpack_from(b)),
     T_BYE: lambda b: Bye(*_BYE.unpack_from(b)),
 }
 

@@ -52,6 +52,7 @@ import random
 from dataclasses import dataclass
 from typing import Awaitable, Callable, Mapping
 
+from repro.core.run_metrics import TransportMetrics
 from repro.obs import profile as _profile
 from repro.obs.trace import NULL_TRACER, TID_NET
 from repro.transport.codec import (
@@ -59,6 +60,7 @@ from repro.transport.codec import (
     CodecError,
     FRAME_HEADER_BYTES,
     Heartbeat,
+    HeartbeatAck,
     Hello,
     decode_body,
     decode_frame_header,
@@ -101,7 +103,10 @@ class TransportConfig:
 class _OutLink:
     """One outgoing (peer, channel) connection with its FIFO outbox."""
 
-    __slots__ = ("dst", "channel", "queue", "writer", "task", "addr")
+    __slots__ = (
+        "dst", "channel", "queue", "writer", "task", "addr",
+        "ever_connected", "high_water",
+    )
 
     def __init__(self, dst: int, channel: int, capacity: int):
         self.dst = dst
@@ -110,6 +115,8 @@ class _OutLink:
         self.writer: asyncio.StreamWriter | None = None
         self.task: asyncio.Task | None = None
         self.addr: tuple[str, int] | None = None
+        self.ever_connected = False  # distinguishes connect vs. reconnect
+        self.high_water = 0  # deepest the outbox has ever been
 
 
 class PeerMesh:
@@ -158,10 +165,12 @@ class PeerMesh:
         self._serve_tasks: set[asyncio.Task] = set()
 
         # Metric families (registered only when a registry is attached,
-        # so sim-backend dumps carry no empty transport series).
+        # so sim-backend dumps carry no empty transport series). The
+        # catalog itself lives in core/run_metrics.py next to the
+        # engine's shared families.
         self._m = None
         if metrics is not None:
-            self._m = _TransportMetrics(metrics)
+            self._m = TransportMetrics(metrics)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -266,15 +275,23 @@ class PeerMesh:
         link = self._out.get((dst, channel))
         if link is None:
             return False
+        t_enq = asyncio.get_event_loop().time()
         try:
-            link.queue.put_nowait((bytes(frame), trace_name, not_before))
+            link.queue.put_nowait((bytes(frame), trace_name, not_before, t_enq))
         except asyncio.QueueFull:
             if self._m:
                 self._m.dropped.inc(1, self.worker_id, dst, CHANNEL_NAMES[channel])
             return False
+        depth = link.queue.qsize()
+        if depth > link.high_water:
+            link.high_water = depth
+            if self._m:
+                self._m.outbox_high_water.set(
+                    depth, self.worker_id, dst, CHANNEL_NAMES[channel]
+                )
         if self._m:
             self._m.outbox_depth.set(
-                link.queue.qsize(), self.worker_id, dst, CHANNEL_NAMES[channel]
+                depth, self.worker_id, dst, CHANNEL_NAMES[channel]
             )
         return True
 
@@ -338,7 +355,7 @@ class PeerMesh:
             item = await link.queue.get()
             if item is _CLOSE:
                 return
-            frame, trace_name, not_before = item
+            frame, trace_name, not_before, t_enq = item
             if not_before:
                 # Injected latency: hold the FIFO head back, so ordering
                 # is preserved (later frames queue behind the delay).
@@ -353,7 +370,11 @@ class PeerMesh:
                 if bucket is not None:
                     if self._rate_fn is not None:
                         bucket.set_rate(max(1.0, self._rate_fn(link.dst)))
-                    await bucket.throttle(len(frame))
+                    stalled = await bucket.throttle(len(frame))
+                    if stalled > 0 and self._m:
+                        self._m.stall_seconds.inc(
+                            stalled, self.worker_id, link.dst
+                        )
                 try:
                     with _profile.scope("transport/send_bytes"):
                         link.writer.write(frame)
@@ -370,6 +391,13 @@ class PeerMesh:
                 self._m.send_msgs.inc(1, self.worker_id, link.dst, ch)
                 self._m.outbox_depth.set(
                     link.queue.qsize(), self.worker_id, link.dst, ch
+                )
+                self._m.h_frame_bytes.observe(
+                    len(frame), self.worker_id, link.dst, ch
+                )
+                self._m.h_frame_latency.observe(
+                    max(asyncio.get_event_loop().time() - t_enq, 0.0),
+                    self.worker_id, link.dst, ch,
                 )
             if self.tracer.enabled and self._now_fn is not None:
                 t1_sim = self._now_fn()
@@ -436,6 +464,9 @@ class PeerMesh:
                     link.writer = writer
                     if self._m:
                         self._m.connects.inc(1, self.worker_id, link.dst)
+                        if link.ever_connected:
+                            self._m.reconnects.inc(1, self.worker_id, link.dst)
+                    link.ever_connected = True
                     return True
                 except (ConnectionError, OSError, asyncio.TimeoutError):
                     if self._m:
@@ -491,7 +522,10 @@ class PeerMesh:
         while not self._closing:
             await asyncio.sleep(self.cfg.heartbeat_interval_s)
             sim_now = self._now_fn() if self._now_fn is not None else 0.0
-            hb = Heartbeat(self.worker_id, int(self._progress_fn()), sim_now)
+            hb = Heartbeat(
+                self.worker_id, int(self._progress_fn()), sim_now,
+                wall=asyncio.get_event_loop().time(),
+            )
             for dst in self.live_peers():
                 self.send(dst, CHANNEL_CONTROL, hb)
             if self._m:
@@ -520,8 +554,22 @@ class PeerMesh:
             while True:
                 msg = await self._read_frame(reader)
                 if isinstance(msg, Heartbeat):
+                    if msg.wall:
+                        # Echo the sender's wall timestamp so it can
+                        # measure a full round trip (its clock, both
+                        # ends — no cross-process clock comparison).
+                        self.send(
+                            msg.sender, CHANNEL_CONTROL,
+                            HeartbeatAck(self.worker_id, msg.wall),
+                        )
                     if self._on_heartbeat is not None:
                         self._on_heartbeat(msg)
+                    continue
+                if isinstance(msg, HeartbeatAck):
+                    if self._m:
+                        rtt = asyncio.get_event_loop().time() - msg.echo_wall
+                        if rtt >= 0:
+                            self._m.hb_rtt.set(rtt, self.worker_id, msg.sender)
                     continue
                 if isinstance(msg, Bye):
                     self._graceful.add(msg.sender)
@@ -539,46 +587,3 @@ class PeerMesh:
                 writer.close()
             except Exception:
                 pass
-
-
-class _TransportMetrics:
-    """The transport metric families (see docs/observability.md)."""
-
-    def __init__(self, registry):
-        self.connects = registry.counter(
-            "transport_connect_total",
-            "successful outgoing transport connections", ("worker", "peer"),
-        )
-        self.retries = registry.counter(
-            "transport_retry_total",
-            "failed connection attempts (incl. backoff retries)",
-            ("worker", "peer"),
-        )
-        self.send_bytes = registry.counter(
-            "transport_send_bytes_total",
-            "bytes actually written per directed link and channel",
-            ("src", "dst", "channel"),
-        )
-        self.send_msgs = registry.counter(
-            "transport_send_msgs_total",
-            "frames actually written per directed link and channel",
-            ("src", "dst", "channel"),
-        )
-        self.dropped = registry.counter(
-            "transport_dropped_total",
-            "frames dropped (outbox full or peer declared dead)",
-            ("src", "dst", "channel"),
-        )
-        self.heartbeats = registry.counter(
-            "transport_heartbeat_total", "heartbeat rounds sent", ("worker",)
-        )
-        self.revives = registry.counter(
-            "transport_revive_total",
-            "peer resurrections applied (links rebuilt at a new address)",
-            ("worker", "peer"),
-        )
-        self.outbox_depth = registry.gauge(
-            "transport_outbox_depth",
-            "queued frames per outgoing link",
-            ("worker", "dst", "channel"),
-        )

@@ -69,6 +69,7 @@ from repro.core.worker import Worker
 from repro.nn.datasets import MinibatchSampler, SyntheticImageDataset
 from repro.nn.models import build_model
 from repro.obs import profile as _profile
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import Profiler
 from repro.obs.trace import NULL_TRACER, THREAD_NAMES, TID_NET, Tracer
@@ -166,12 +167,19 @@ class LiveRunSpec:
     checkpoint: CheckpointConfig | None = None
     chaos: ChaosPlan | None = None
     stderr_dir: str | None = None
+    # Telemetry delta shipping: wall seconds between incremental
+    # metric/trace/flight shipments to the supervisor (None disables —
+    # then only the end-of-run result payload exists, and a SIGKILLed
+    # worker's telemetry is lost with it).
+    ship_interval_s: float | None = 1.0
 
     def __post_init__(self) -> None:
         if self.horizon <= 0:
             raise ValueError("horizon must be positive")
         if self.speedup <= 0:
             raise ValueError("speedup must be positive")
+        if self.ship_interval_s is not None and self.ship_interval_s <= 0:
+            raise ValueError("ship_interval_s must be positive (or None)")
 
 
 class LiveWorkerRuntime:
@@ -296,6 +304,16 @@ class LiveWorkerRuntime:
         # Iteration count restored from a checkpoint (0 = fresh start);
         # reported to the supervisor so it can compute lost iterations.
         self.restored_iteration = 0
+
+        # Telemetry delta shipping (crash-safety): cumulative metric
+        # snapshots plus incremental trace/flight events go to the
+        # supervisor every ship_interval_s wall seconds, so a SIGKILL
+        # loses at most one interval of telemetry. The flight recorder
+        # is always on — it is the black box when tracing is disabled.
+        self.flight = FlightRecorder(worker_id)
+        self._trace_cursor = 0
+        self._last_ship_wall = 0.0
+        self.deltas_shipped = 0
 
         # Locally-recorded series (shipped to the parent at the end).
         self.acc_series = TimeSeries()
@@ -450,6 +468,7 @@ class LiveWorkerRuntime:
         self._peer_samples.pop(peer, None)
         self.active_series.append(self.clock.now, len(self.active))
         self._g_active.set(len(self.active))
+        self.flight.record("peer-dead", self.clock.now, {"peer": peer})
         try:
             self.worker.on_membership_change(self.active)
         except BaseException as exc:  # noqa: BLE001 - must surface to parent
@@ -465,6 +484,7 @@ class LiveWorkerRuntime:
         and must be superseded before their retry loop gives up.
         """
         self.mesh.revive(peer, addr)
+        self.flight.record("peer-revived", self.clock.now, {"peer": peer})
         if peer in self.active:
             return
         self.active.add(peer)
@@ -506,6 +526,10 @@ class LiveWorkerRuntime:
     def _blackout_edge(self, fault, delta: int) -> None:
         self._active_blackouts = max(0, self._active_blackouts + delta)
         self._g_partition.set(self._active_blackouts)
+        self.flight.record(
+            "blackout-start" if delta > 0 else "blackout-end",
+            self.clock.now, {"src": fault.src, "dst": fault.dst},
+        )
         if self.tracer.enabled:
             self.tracer.instant(
                 "blackout-start" if delta > 0 else "blackout-end",
@@ -682,6 +706,10 @@ class LiveWorkerRuntime:
         write_checkpoint(
             cfg.directory, self.worker_id, arrays, meta, retention=cfg.retention
         )
+        self.flight.record(
+            "checkpoint", self.clock.now,
+            {"iteration": self.worker.iteration},
+        )
         if self.tracer.enabled:
             self.tracer.instant(
                 "checkpoint", self.worker_id, TID_NET, self.clock.now,
@@ -716,6 +744,10 @@ class LiveWorkerRuntime:
         """Record one iteration's loss (and count the iteration)."""
         self.loss_series.append(self.clock.now, loss)
         self._c_iterations.inc(1, worker)
+        self.flight.record(
+            "iteration", self.clock.now,
+            {"iteration": self.worker.iteration, "loss": round(float(loss), 5)},
+        )
         self._report_progress()
 
     def _report_progress(self) -> None:
@@ -803,6 +835,9 @@ class LiveWorkerRuntime:
             # blocks on history the other never saw.
             w.sync_state.received_from = {p: w.iteration for p in w.peers}
             w.on_membership_change(self.active)
+            self.flight.record(
+                "worker-rejoined", now, {"iteration": w.iteration}
+            )
             if self.tracer.enabled:
                 self.tracer.instant(
                     "worker-rejoined", self.worker_id, TID_NET, now,
@@ -833,8 +868,9 @@ class LiveWorkerRuntime:
 
     async def wait_horizon(self, inbox: asyncio.Queue | None = None) -> None:
         """Sleep (in wall time) until the modelled horizon, re-raising
-        the first callback failure as soon as it is recorded and
-        applying any supervisor commands (peer revivals) that arrive."""
+        the first callback failure as soon as it is recorded, applying
+        any supervisor commands (peer revivals) that arrive, and
+        shipping telemetry deltas on their wall-clock cadence."""
         while self.clock.now < self.spec.horizon:
             if self._failure is not None:
                 raise self._failure
@@ -846,10 +882,54 @@ class LiveWorkerRuntime:
                         break
                     if msg and msg[0] == "revive":
                         self.on_peer_revived(msg[1], (self.spec.host, msg[2]))
+            self._maybe_ship_delta()
             remaining_wall = (self.spec.horizon - self.clock.now) / self.spec.speedup
             await asyncio.sleep(min(0.05, max(remaining_wall, 0.001)))
         if self._failure is not None:
             raise self._failure
+
+    # ------------------------------------------------------------------
+    # Telemetry delta shipping
+    # ------------------------------------------------------------------
+    def _maybe_ship_delta(self) -> None:
+        interval = self.spec.ship_interval_s
+        if interval is None or self.progress_conn is None or self.clock._loop is None:
+            return
+        wall = self.clock._loop.time()
+        if wall - self._last_ship_wall < interval:
+            return
+        self._last_ship_wall = wall
+        self.ship_delta()
+
+    def ship_delta(self) -> None:
+        """Ship one incremental telemetry delta to the supervisor.
+
+        The metrics snapshot is *cumulative* (``dump_state`` of the
+        whole registry): the parent keeps only the latest one per
+        incarnation, so shipping is idempotent and a lost delta costs
+        one interval of staleness, never double counting. Trace events
+        ship incrementally through a cursor; flight-recorder events are
+        drained (shipped exactly once).
+        """
+        if self.progress_conn is None:
+            return
+        trace_events, self._trace_cursor = self.tracer.delta_events(
+            self._trace_cursor
+        )
+        payload = {
+            "iteration": self.worker.iteration,
+            "time": self.clock.now,
+            "samples_drawn": self.worker.sampler.samples_drawn,
+            "restored_iteration": self.restored_iteration,
+            "metrics": self.metrics.dump_state(),
+            "trace_events": trace_events,
+            "flight": self.flight.drain(),
+        }
+        try:
+            self.progress_conn.send(("delta", self.worker_id, payload))
+            self.deltas_shipped += 1
+        except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
+            self.progress_conn = None
 
     def profiled(self):
         """Activate this runtime's profiler (no-op context when unset)."""
@@ -862,6 +942,9 @@ class LiveWorkerRuntime:
     def finalize(self) -> None:
         """Stop training, take the final accuracy sample, close books."""
         self.stopped = True
+        self.flight.record(
+            "finalize", self.clock.now, {"iteration": self.worker.iteration}
+        )
         self.evaluate_worker(self.worker_id)
         w = self.worker
         wait = w.wait_time
@@ -876,10 +959,19 @@ class LiveWorkerRuntime:
                 self.run_metrics.c_profile_calls.inc(calls, name)
 
     def result_payload(self) -> dict:
-        """The picklable per-worker result shipped back to the parent."""
+        """The picklable per-worker result shipped back to the parent.
+
+        ``trace_events`` and ``flight`` are incremental past the last
+        shipped delta (the parent accumulates the delta stream), so a
+        run with shipping disabled ships everything here and a run with
+        shipping enabled ships only the tail — no duplicates either way.
+        """
         def series(ts: TimeSeries) -> tuple[list[float], list[float]]:
             return (list(ts.times), list(ts.values))
 
+        trace_events, self._trace_cursor = self.tracer.delta_events(
+            self._trace_cursor
+        )
         return {
             "worker": self.worker_id,
             "horizon": self.clock.now,
@@ -896,7 +988,8 @@ class LiveWorkerRuntime:
             "link_entries": {k: series(v) for k, v in self.link_entries.items()},
             "link_chosen_n": {k: series(v) for k, v in self.link_chosen_n.items()},
             "metrics": self.metrics.dump_state(),
-            "trace_events": self.tracer.events() if self.tracer.enabled else [],
+            "trace_events": trace_events,
+            "flight": self.flight.drain(),
         }
 
 

@@ -1,0 +1,49 @@
+"""Unit tests for the bounded flight-recorder ring."""
+
+from repro.obs.flight import DEFAULT_CAPACITY, FLIGHT_CAT, FlightRecorder
+
+
+class TestFlightRecorder:
+    def test_records_chrome_trace_instants(self):
+        fr = FlightRecorder(3)
+        fr.record("peer-dead", 1.5, {"peer": 2})
+        [ev] = fr.peek()
+        assert ev["ph"] == "i"
+        assert ev["cat"] == FLIGHT_CAT
+        assert ev["pid"] == 3
+        assert ev["name"] == "peer-dead"
+        assert ev["ts"] == 1.5e6  # microseconds
+        assert ev["args"] == {"peer": 2}
+
+    def test_ring_keeps_only_the_newest(self):
+        fr = FlightRecorder(0, capacity=4)
+        for i in range(10):
+            fr.record("iteration", float(i), {"iteration": i})
+        assert len(fr) == 4
+        kept = [ev["args"]["iteration"] for ev in fr.peek()]
+        assert kept == [6, 7, 8, 9]
+        assert fr.recorded == 10
+
+    def test_drain_empties_and_counts(self):
+        fr = FlightRecorder(0)
+        fr.record("a", 0.0)
+        fr.record("b", 1.0)
+        events = fr.drain()
+        assert [e["name"] for e in events] == ["a", "b"]  # oldest first
+        assert len(fr) == 0
+        assert fr.drained == 2
+        assert fr.drain() == []  # idempotent when empty
+
+    def test_drain_then_record_does_not_resend(self):
+        # The delta-shipping contract: every event is shipped exactly once.
+        fr = FlightRecorder(0)
+        fr.record("a", 0.0)
+        assert [e["name"] for e in fr.drain()] == ["a"]
+        fr.record("b", 1.0)
+        assert [e["name"] for e in fr.drain()] == ["b"]
+
+    def test_default_capacity(self):
+        fr = FlightRecorder(0)
+        for i in range(DEFAULT_CAPACITY + 5):
+            fr.record("x", float(i))
+        assert len(fr) == DEFAULT_CAPACITY

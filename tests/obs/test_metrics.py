@@ -4,7 +4,14 @@ import json
 
 import pytest
 
-from repro.obs.metrics import DEFAULT_BUCKETS, Counter, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    percentile_from_buckets,
+    percentile_from_sample,
+)
 
 
 class TestCounter:
@@ -72,6 +79,70 @@ class TestHistogram:
             Histogram("h", "", (), buckets=())
         with pytest.raises(ValueError):
             Histogram("h", "", (), buckets=(1.0, 1.0))
+
+
+class TestPercentiles:
+    def test_linear_interpolation_within_a_bucket(self):
+        # 10 observations land in (1, 2]; the median interpolates to
+        # the bucket midpoint, Prometheus histogram_quantile-style.
+        edges = (1.0, 2.0, 5.0)
+        cumulative = [0, 10, 10, 10]
+        assert percentile_from_buckets(edges, cumulative, 0.5) == pytest.approx(1.5)
+
+    def test_min_max_clamp_beats_bucket_edges(self):
+        edges = (1.0, 2.0)
+        cumulative = [0, 4, 4]
+        # All four values were 1.9; the interpolated estimate cannot
+        # stray outside the observed range.
+        p = percentile_from_buckets(
+            edges, cumulative, 0.99, minimum=1.9, maximum=1.9
+        )
+        assert p == pytest.approx(1.9)
+
+    def test_inf_bucket_resolves_to_observed_max(self):
+        edges = (1.0,)
+        cumulative = [0, 3]  # all three observations above every edge
+        assert percentile_from_buckets(
+            edges, cumulative, 0.99, maximum=7.5
+        ) == pytest.approx(7.5)
+
+    def test_empty_series_is_none(self):
+        assert percentile_from_buckets((1.0,), [0, 0], 0.5) is None
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            percentile_from_buckets((1.0,), [0, 0], 1.5)
+        with pytest.raises(ValueError):
+            percentile_from_buckets((1.0, 2.0), [0, 0], 0.5)
+
+    def test_histogram_percentile_and_samples_agree(self):
+        h = Histogram("lat", "", ("worker",), buckets=(0.01, 0.1, 1.0))
+        for i in range(100):
+            h.observe(0.001 + i * 0.0005, 0)  # 0.001 .. 0.0505
+        p50 = h.percentile(0.5, 0)
+        p99 = h.percentile(0.99, 0)
+        assert 0.001 <= p50 < p99 <= 0.0505  # max-clamped, never past range
+        [sample] = h.samples()
+        assert sample["p50"] == pytest.approx(p50)
+        assert sample["p99"] == pytest.approx(p99)
+        # the exported-sample path recomputes the same estimates
+        assert percentile_from_sample(sample, 0.99) == pytest.approx(p99)
+
+    def test_percentile_all_pools_label_series(self):
+        h = Histogram("lat", "", ("link",), buckets=(1.0, 10.0))
+        for _ in range(99):
+            h.observe(0.5, 0)   # fast link
+        h.observe(9.0, 1)       # one slow outlier on another link
+        assert h.percentile(0.995, 0) <= 1.0
+        assert h.percentile_all(0.995) > 1.0
+
+    def test_empty_histogram_percentiles_are_none(self):
+        h = Histogram("lat", "", ())
+        assert h.percentile(0.99) is None
+        assert h.percentile_all(0.99) is None
+        h.observe(2.0)
+        [sample] = h.samples()
+        assert sample["p95"] is not None
 
 
 class TestRegistry:

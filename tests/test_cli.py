@@ -221,6 +221,68 @@ class TestRunBackendsAndWorkers:
         assert "iterations" in out
 
 
+class TestTelemetryFlags:
+    """The --stats-interval/--status-dir/--ship-interval/status/report
+    --metrics surface of the telemetry plane."""
+
+    def test_telemetry_flags_rejected_on_sim_backend(self, capsys):
+        for flag in (["--stats-interval", "1"], ["--status-dir", "/tmp/x"],
+                     ["--ship-interval", "1"]):
+            rc = main(["run", "-e", "Homo A", "--horizon", "5", *flag])
+            assert rc == 2
+            assert "--backend proc" in capsys.readouterr().err
+
+    def test_nonpositive_intervals_rejected(self, capsys):
+        for flag in ("--stats-interval", "--ship-interval"):
+            rc = main(
+                ["run", "-e", "Homo A", "--backend", "proc",
+                 "--horizon", "5", flag, "0"]
+            )
+            assert rc == 2
+            assert "must be positive" in capsys.readouterr().err
+
+    def test_status_reads_a_snapshot(self, tmp_path, capsys):
+        from repro.obs.live_status import build_snapshot, write_snapshot
+
+        write_snapshot(tmp_path, build_snapshot(
+            time_model_s=5.0, horizon_s=10.0, wall_elapsed_s=1.0,
+            speedup=5.0,
+            workers={0: {"iteration": 10, "rate": 2.0, "alive": True,
+                         "restarts": 0}},
+            cluster={"send_msgs_total": 7},
+        ))
+        assert main(["status", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "[live t=" in out
+        assert "worker" in out
+
+    def test_status_without_snapshot_fails(self, tmp_path, capsys):
+        assert main(["status", str(tmp_path)]) == 1
+        assert "no live status snapshot" in capsys.readouterr().err
+
+    def test_report_metrics_renders_percentiles(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        assert main(
+            ["run", "-e", "Homo A", "-s", "dlion", "--horizon", "15",
+             "--metrics-out", str(metrics_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["report", "--metrics", str(metrics_path)]) == 0
+        out = capsys.readouterr().out
+        assert "p50" in out and "p95" in out and "p99" in out
+        assert "iteration_seconds" in out
+
+    def test_report_requires_some_input(self, capsys):
+        assert main(["report"]) == 2
+        assert "--metrics" in capsys.readouterr().err
+
+    def test_report_rejects_garbage_metrics(self, tmp_path, capsys):
+        bad = tmp_path / "m.json"
+        bad.write_text("[1, 2]")
+        assert main(["report", "--metrics", str(bad)]) == 2
+        assert "cannot read metrics dump" in capsys.readouterr().err
+
+
 class TestRunChaos:
     """The --chaos / --checkpoint-* validation surface of run."""
 

@@ -172,8 +172,13 @@ class TestChurn:
             config, topo, seed=0, speedup=SPEEDUP, transport=FAST_TRANSPORT
         )
         result = engine.run(HORIZON, chaos=plan)
-        # The victim reported nothing; the survivors kept training.
-        assert result.iterations[2] == 0
+        # The victim never reported a final result; whatever telemetry
+        # deltas it shipped before the kill are retained (crash-safe, at
+        # most one shipping interval behind) and must stay consistent
+        # with the merged metric catalog.
+        iters = engine.metrics.get("iterations_total")
+        assert result.iterations[2] == iters.value(2)
+        assert result.iterations[2] < result.iterations[0]
         assert result.iterations[0] > 5
         assert result.iterations[1] > 5
         # Survivors recorded the 3 -> 2 membership transition.

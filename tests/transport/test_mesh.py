@@ -302,6 +302,108 @@ class TestTransientDisconnect:
         asyncio.run(run())
 
 
+class TestTelemetry:
+    """Per-link instrumentation recorded by the mesh into obs.metrics."""
+
+    def test_frame_histograms_and_high_water(self):
+        async def run():
+            registry = MetricsRegistry()
+            a, b = Endpoint(0, metrics=registry), Endpoint(1)
+            try:
+                await _start_pair(a, b)
+                # A burst with no awaits in between: the sender task
+                # cannot drain until we yield, so the outbox backs up
+                # and the high-water mark must register it.
+                for i in range(12):
+                    assert a.mesh.send(1, CHANNEL_DATA, _grad(0, i))
+                await _wait_for(lambda: len(b.received) == 12)
+            finally:
+                await asyncio.gather(a.mesh.close(), b.mesh.close())
+            lat = registry.get("transport_frame_latency_seconds")
+            size = registry.get("transport_frame_bytes")
+            assert lat.count(0, 1, "data") == 12
+            assert size.count(0, 1, "data") == 12
+            # wire accounting agrees between histogram and counter views
+            sent = registry.get("transport_send_bytes_total")
+            assert size.sum(0, 1, "data") == sent.value(0, 1, "data") > 0
+            assert registry.get("transport_send_msgs_total").value(
+                0, 1, "data"
+            ) == 12
+            high = registry.get("transport_outbox_high_water")
+            assert high.value(0, 1, "data") >= 1
+
+        asyncio.run(run())
+
+    def test_reconnect_counted_separately_from_connects(self):
+        """Severing an established link and sending again must bump
+        ``transport_reconnect_total``, not just the connect counter."""
+        async def run():
+            registry = MetricsRegistry()
+            a, b = Endpoint(0, metrics=registry), Endpoint(1)
+            try:
+                await _start_pair(a, b)
+                assert a.mesh.send(1, CHANNEL_DATA, _grad(0, 0))
+                await _wait_for(lambda: len(b.received) == 1)
+                reconnects = registry.get("transport_reconnect_total")
+                assert reconnects.value(0, 1) == 0
+                link = a.mesh._out[(1, CHANNEL_DATA)]
+                link.writer.transport.abort()
+                assert a.mesh.send(1, CHANNEL_DATA, _grad(0, 1))
+                await _wait_for(lambda: len(b.received) == 2)
+            finally:
+                await asyncio.gather(a.mesh.close(), b.mesh.close())
+            assert reconnects.value(0, 1) >= 1
+            connects = registry.get("transport_connect_total")
+            assert connects.value(0, 1) > reconnects.value(0, 1)
+
+        asyncio.run(run())
+
+    def test_shaper_stall_seconds_accumulate(self):
+        """Frames bigger than the token-bucket burst park the sender;
+        the slept wall time lands in ``transport_stall_seconds_total``."""
+        async def run():
+            registry = MetricsRegistry()
+            # 100 kB/s -> 10 kB burst; two 16 kB frames must throttle.
+            a = Endpoint(0, metrics=registry, rate_fn=lambda dst: 100_000.0)
+            b = Endpoint(1)
+            big = GradientMessage(
+                sender=0, iteration=0, lbs=32,
+                dense={"w": np.ones(4096, dtype=np.float32)},
+            )
+            try:
+                await _start_pair(a, b)
+                assert a.mesh.send(1, CHANNEL_DATA, big)
+                assert a.mesh.send(1, CHANNEL_DATA, big)
+                await _wait_for(lambda: len(b.received) == 2)
+            finally:
+                await asyncio.gather(a.mesh.close(), b.mesh.close())
+            stall = registry.get("transport_stall_seconds_total")
+            assert stall.value(0, 1) > 0.0
+
+        asyncio.run(run())
+
+    def test_heartbeat_rtt_gauge(self):
+        """A heartbeat round-trip over loopback lands a positive RTT
+        sample on the sender's (worker, peer) gauge."""
+        async def run():
+            registry = MetricsRegistry()
+            a = Endpoint(0, metrics=registry, progress_fn=lambda: 0)
+            b = Endpoint(1)
+            rtt = registry.gauge(
+                "transport_heartbeat_rtt_seconds",
+                labels=("worker", "peer"),
+            )
+            try:
+                await _start_pair(a, b)
+                await _wait_for(lambda: rtt.value(0, 1) > 0.0)
+            finally:
+                await asyncio.gather(a.mesh.close(), b.mesh.close())
+            assert rtt.value(0, 1) < 1.0  # loopback, not a timeout echo
+            assert registry.get("transport_heartbeat_total").value(0) >= 1
+
+        asyncio.run(run())
+
+
 class TestConfigValidation:
     def test_bad_timeouts_rejected(self):
         with pytest.raises(ValueError):

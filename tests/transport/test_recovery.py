@@ -117,6 +117,65 @@ class TestRecoveryRun:
         assert recoveries[0]["args"]["worker"] == VICTIM
 
 
+class TestRespawnTraceMonotonicity:
+    """Respawn clock re-anchoring: the victim's merged timeline must be
+    monotonic and non-overlapping across the crash, on both backends.
+
+    The pre-crash spans only exist in the merged trace because the
+    victim's telemetry deltas shipped them before the SIGKILL — so the
+    live variant also exercises the crash-safe delta stream."""
+
+    # A regression in clock_offset re-anchoring overlaps the incarnations
+    # by whole modelled seconds; half a second of slack absorbs rounding
+    # and pipe latency without masking the failure.
+    _EPS_US = 0.5e6
+
+    def _assert_monotonic(self, spans):
+        assert spans
+        spans = sorted(spans, key=lambda e: e["ts"])
+        for cur, nxt in zip(spans, spans[1:]):
+            assert nxt["ts"] + self._EPS_US >= cur["ts"] + cur.get("dur", 0.0)
+        return spans
+
+    def test_live_victim_timeline(self, recovery_run):
+        _, tracer, _ = recovery_run
+        events = tracer.events()
+        kills = [e for e in events if e.get("name") == "worker-killed"]
+        assert kills
+        t_kill = kills[0]["ts"]
+        spans = self._assert_monotonic([
+            e for e in events
+            if e.get("pid") == VICTIM
+            and e.get("ph") == "X"
+            and e.get("name") == "compute"
+        ])
+        pre = [e for e in spans if e["ts"] < t_kill]
+        post = [e for e in spans if e["ts"] >= t_kill]
+        assert pre, "pre-crash spans must survive via telemetry deltas"
+        assert post, "the respawned incarnation must keep training"
+        assert min(e["ts"] for e in post) + self._EPS_US >= max(
+            e["ts"] + e.get("dur", 0.0) for e in pre
+        )
+
+    def test_sim_victim_timeline(self, setup):
+        config, topo = setup
+        tracer = Tracer()
+        TrainingEngine(config, topo, seed=0, chaos=PLAN, tracer=tracer).run(
+            HORIZON
+        )
+        events = tracer.events()
+        spans = self._assert_monotonic([
+            e for e in events
+            if e.get("pid") == VICTIM
+            and e.get("ph") == "X"
+            and e.get("name") == "compute"
+        ])
+        # The sim victim leaves at CRASH_AT and rejoins RESTART_AFTER
+        # later; spans must exist on both sides of the gap.
+        assert any(e["ts"] < CRASH_AT * 1e6 for e in spans)
+        assert any(e["ts"] > (CRASH_AT + RESTART_AFTER) * 1e6 for e in spans)
+
+
 class TestSimProcParity:
     def test_sim_records_the_same_recovery_shape(self, setup):
         """The same plan on the simulator: one restart for the victim,
