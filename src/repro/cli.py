@@ -114,6 +114,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--speedup", type=float, default=20.0,
                        help="proc backend: modelled seconds per wall-clock "
                        "second (default 20)")
+    run_p.add_argument("--overlay", metavar="SPEC", default=None,
+                       help="sim backend: sparse exchange overlay — full, "
+                       "ring, star, kregular:K, hier:G or hier:G:full "
+                       "(default: the paper's full mesh)")
     run_p.add_argument("--workers", type=int, default=None,
                        help="truncate the environment to its first N workers")
     run_p.add_argument("--seed", type=int, default=0)
@@ -336,6 +340,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.env_file and args.workers is not None:
         print("--workers applies only to preset environments", file=sys.stderr)
         return 2
+    if args.backend == "proc" and args.overlay:
+        print(
+            "--overlay is a simulator feature; the proc backend exchanges "
+            "over the full mesh",
+            file=sys.stderr,
+        )
+        return 2
     if args.backend == "proc" and args.churn:
         print(
             "--churn is a simulator feature; with --backend proc, script "
@@ -391,6 +402,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
             return 2
     tracer, metrics, profiler = _make_obs(args)
     config, topo, default_horizon = _build_run_setup(args)
+    peer_graph = None
+    if args.overlay:
+        from repro.cluster.peergraph import PeerGraph
+
+        try:
+            peer_graph = PeerGraph.from_spec(args.overlay, topo.n_workers)
+        except ValueError as exc:
+            print(f"bad --overlay: {exc}", file=sys.stderr)
+            return 2
     membership = _parse_churn(args.churn, n_workers=topo.n_workers)
     if chaos is not None:
         # Mirror the --churn validation: worker ids and link endpoints
@@ -467,6 +487,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 profiler=profiler,
                 compute_threads=compute_threads,
                 chaos=chaos,
+                peer_graph=peer_graph,
             )
         except ValueError as exc:
             # e.g. a chaos plan whose crash narrative conflicts with the

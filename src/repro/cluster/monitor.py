@@ -42,7 +42,7 @@ class NetworkResourceMonitor:
 
     def available_bandwidth(self, dst: int, t: float) -> float:
         """Estimated Mbps on the link ``worker -> dst`` at time ``t``."""
-        bw = self.matrix.link(self.worker, dst).bandwidth_at(t)
+        bw = self.matrix.bandwidth_at(self.worker, dst, t)
         if self.noise > 0:
             bw *= math.exp(self.rng.normal(0.0, self.noise))
         return bw

@@ -6,6 +6,21 @@ transfer enqueued while another is in flight waits its turn. That
 queueing is what produces the congestion effects behind Fig. 9a (a DKT
 period that is too short floods the links and *slows* training).
 
+:class:`BandwidthMatrix` has two storage modes with one observable
+behaviour:
+
+- **Legacy mode** (any traced bandwidth, or shared egress): one
+  :class:`Link` object per ordered pair, built eagerly.
+- **Vector mode** (every bandwidth a scalar constant, no egress): link
+  state lives in flat NumPy arrays (bandwidth, busy-until, bytes,
+  transfer counts) and ``links`` is a lazy mapping that materialises
+  lightweight :class:`LinkView` proxies on access. This is what makes
+  1,000-worker clusters feasible — no O(n²) object graph — and enables
+  :meth:`BandwidthMatrix.enqueue_transfers`, the vectorized batch used
+  for same-instant gradient fan-out. The arithmetic mirrors
+  :meth:`Link.enqueue_transfer` operation for operation, so both modes
+  (and the batch and scalar paths) are IEEE-754 bit-identical.
+
 The module also ships the paper's Table 2: measured inter-region
 bandwidth (Mbps) between six Amazon regions, used to emulate WAN
 micro-cloud environments.
@@ -13,11 +28,13 @@ micro-cloud environments.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
+
 import numpy as np
 
 from repro.cluster.traces import ConstantTrace
 
-__all__ = ["Link", "BandwidthMatrix", "AWS_REGIONS", "AWS_REGION_BANDWIDTH"]
+__all__ = ["Link", "LinkView", "BandwidthMatrix", "AWS_REGIONS", "AWS_REGION_BANDWIDTH"]
 
 
 # Paper Table 2: available bandwidth (Mbps) between Amazon regions.
@@ -88,6 +105,100 @@ class Link:
         return max(0.0, self.busy_until - t)
 
 
+class LinkView:
+    """A lightweight proxy onto one directed link of a vector-mode
+    :class:`BandwidthMatrix`.
+
+    Presents the :class:`Link` interface (``bandwidth_at``,
+    ``enqueue_transfer``, ``busy_until``, ``bytes_sent`` …) but reads
+    and writes the matrix's shared NumPy state, so views are cheap,
+    interchangeable, and never stale.
+    """
+
+    __slots__ = ("_m", "src", "dst")
+
+    def __init__(self, matrix: "BandwidthMatrix", src: int, dst: int):
+        self._m = matrix
+        self.src = src
+        self.dst = dst
+
+    @property
+    def latency(self) -> float:
+        return self._m._latency
+
+    @property
+    def busy_until(self) -> float:
+        return float(self._m._busy[self.src, self.dst])
+
+    @busy_until.setter
+    def busy_until(self, value: float) -> None:
+        self._m._busy[self.src, self.dst] = value
+
+    @property
+    def bytes_sent(self) -> int:
+        return int(self._m._bytes[self.src, self.dst])
+
+    @property
+    def transfers(self) -> int:
+        return int(self._m._xfers[self.src, self.dst])
+
+    @property
+    def bandwidth(self) -> ConstantTrace:
+        return ConstantTrace(float(self._m._bw[self.src, self.dst]))
+
+    def bandwidth_at(self, t: float) -> float:
+        """Available bandwidth in Mbps at time ``t``."""
+        return float(self._m._bw[self.src, self.dst])
+
+    def transfer_duration(self, nbytes: int, t: float) -> float:
+        """Serialization time for ``nbytes`` at the bandwidth active at ``t``."""
+        if nbytes < 0:
+            raise ValueError("negative payload")
+        mbps = self.bandwidth_at(t)
+        return (nbytes * 8.0) / (mbps * 1e6)
+
+    def enqueue_transfer(self, nbytes: int, t: float) -> float:
+        """Queue a transfer at time ``t``; returns its delivery time."""
+        return self._m.enqueue_transfer(self.src, self.dst, nbytes, t)
+
+    def queue_delay(self, t: float) -> float:
+        """How long a transfer enqueued now would wait before starting."""
+        return max(0.0, self.busy_until - t)
+
+
+class _LinkMap(Mapping):
+    """Lazy ``{(src, dst): LinkView}`` mapping for vector mode.
+
+    Behaves like the legacy eager dict (membership, length, iteration
+    over all ordered pairs) without materialising n² objects.
+    """
+
+    __slots__ = ("_m",)
+
+    def __init__(self, matrix: "BandwidthMatrix"):
+        self._m = matrix
+
+    def __getitem__(self, key) -> LinkView:
+        if key not in self:
+            raise KeyError(key)
+        return LinkView(self._m, key[0], key[1])
+
+    def __contains__(self, key) -> bool:
+        if not (isinstance(key, tuple) and len(key) == 2):
+            return False
+        i, j = key
+        n = self._m.n
+        return 0 <= i < n and 0 <= j < n and i != j
+
+    def __iter__(self):
+        n = self._m.n
+        return ((i, j) for i in range(n) for j in range(n) if i != j)
+
+    def __len__(self) -> int:
+        n = self._m.n
+        return n * (n - 1)
+
+
 class EgressQueue:
     """A per-worker NIC egress serializer (shared-egress link model).
 
@@ -127,13 +238,36 @@ class BandwidthMatrix:
     Table 3 pattern where each worker has a single capacity applied to
     all of its links (e.g. "50/50/35/35/20/20" means worker 0's links
     run at 50 Mbps, worker 4's at 20).
+
+    All-scalar specs without egress store link state in NumPy arrays
+    (vector mode, see module docstring); traced bandwidths or shared
+    egress fall back to eager per-pair :class:`Link` objects. Both
+    modes expose the identical API and produce bit-identical times.
     """
 
     def __init__(self, spec, *, latency: float = 0.002, egress=None):
         self.n = len(spec)
         if any(len(row) != self.n for row in spec):
             raise ValueError("bandwidth spec must be square")
-        self.links: dict[tuple[int, int], Link] = {}
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self._latency = float(latency)
+        scalar = egress is None and (
+            isinstance(spec, np.ndarray)
+            or all(
+                isinstance(v, (int, float)) for row in spec for v in row
+            )
+        )
+        self._vector = scalar
+        if scalar:
+            self._bw = np.asarray(spec, dtype=float).copy()
+            self._busy = np.zeros((self.n, self.n), dtype=float)
+            self._bytes = np.zeros((self.n, self.n), dtype=np.int64)
+            self._xfers = np.zeros((self.n, self.n), dtype=np.int64)
+            self.links: Mapping[tuple[int, int], Link] = _LinkMap(self)
+            self.egress: dict[int, EgressQueue] | None = None
+            return
+        self.links = {}
         for i in range(self.n):
             for j in range(self.n):
                 if i == j:
@@ -141,7 +275,7 @@ class BandwidthMatrix:
                 self.links[(i, j)] = Link(i, j, spec[i][j], latency=latency)
         # Optional shared-egress model: per-worker NIC queues in front
         # of the per-link pipes.
-        self.egress: dict[int, EgressQueue] | None = None
+        self.egress = None
         if egress is not None:
             if len(egress) != self.n:
                 raise ValueError("need one egress capacity per worker")
@@ -149,12 +283,58 @@ class BandwidthMatrix:
                 i: EgressQueue(i, cap) for i, cap in enumerate(egress)
             }
 
+    @property
+    def vectorized(self) -> bool:
+        """True when link state is array-backed (batch path available)."""
+        return self._vector
+
     def enqueue_transfer(self, src: int, dst: int, nbytes: int, t: float) -> float:
         """Route a transfer through the NIC (if modelled) then the link."""
+        if self._vector:
+            if src == dst:
+                raise KeyError((src, dst))
+            if nbytes < 0:
+                raise ValueError("negative payload")
+            busy = self._busy
+            b = busy[src, dst]
+            start = b if b > t else t
+            duration = (nbytes * 8.0) / (self._bw[src, dst] * 1e6)
+            end = start + duration
+            busy[src, dst] = end
+            self._bytes[src, dst] += int(nbytes)
+            self._xfers[src, dst] += 1
+            return float(end + self._latency)
         start = t
         if self.egress is not None:
             start = self.egress[src].enqueue(nbytes, t)
         return self.link(src, dst).enqueue_transfer(nbytes, start)
+
+    def enqueue_transfers(self, src: int, dsts, nbytes, t: float) -> np.ndarray:
+        """Vectorized same-instant batch: queue one transfer from
+        ``src`` to each of ``dsts`` (distinct destinations) at time
+        ``t``; returns the per-destination delivery times.
+
+        Element-for-element this performs the same IEEE-754 operations
+        as calling :meth:`enqueue_transfer` per destination — distinct
+        links are independent, so the batch is bit-identical to the
+        sequential loop. Vector mode only.
+        """
+        if not self._vector:
+            raise RuntimeError("batch transfers require a vector-mode matrix")
+        dsts = np.asarray(dsts, dtype=np.intp)
+        if dsts.size and bool((dsts == src).any()):
+            raise KeyError(f"no self-link for worker {src}")
+        sizes = np.asarray(nbytes, dtype=np.int64)
+        if sizes.size and int(sizes.min()) < 0:
+            raise ValueError("negative payload")
+        busy = self._busy[src, dsts]
+        starts = np.maximum(busy, t)
+        durations = (sizes * 8.0) / (self._bw[src, dsts] * 1e6)
+        ends = starts + durations
+        self._busy[src, dsts] = ends
+        self._bytes[src, dsts] += sizes
+        self._xfers[src, dsts] += 1
+        return ends + self._latency
 
     @classmethod
     def from_worker_capacity(
@@ -176,6 +356,11 @@ class BandwidthMatrix:
         the interface-level contention model (see ``EgressQueue``).
         """
         n = len(capacities)
+        if not shared_egress and all(
+            isinstance(c, (int, float)) for c in capacities
+        ):
+            caps = np.asarray([float(c) for c in capacities])
+            return cls(np.minimum.outer(caps, caps), latency=latency)
         spec = []
         for i in range(n):
             row = []
@@ -221,14 +406,28 @@ class BandwidthMatrix:
             spec.append(row)
         return cls(spec, latency=latency)
 
+    def bandwidth_at(self, src: int, dst: int, t: float) -> float:
+        """Available Mbps on ``src -> dst`` at ``t`` (no proxy object)."""
+        if self._vector:
+            if src == dst:
+                raise KeyError((src, dst))
+            return float(self._bw[src, dst])
+        return self.link(src, dst).bandwidth_at(t)
+
     def link(self, src: int, dst: int) -> Link:
         """The directed link ``src -> dst``."""
         return self.links[(src, dst)]
 
     def out_links(self, src: int) -> list[Link]:
         """All links leaving worker ``src``."""
+        if self._vector:
+            return [
+                LinkView(self, src, j) for j in range(self.n) if j != src
+            ]
         return [l for (i, _j), l in self.links.items() if i == src]
 
     def total_bytes(self) -> int:
         """Total bytes carried by every link so far."""
+        if self._vector:
+            return int(self._bytes.sum())
         return sum(l.bytes_sent for l in self.links.values())

@@ -58,6 +58,36 @@ class PeerGraph:
     # Common overlays
     # ------------------------------------------------------------------
     @classmethod
+    def from_spec(cls, spec: str, n_workers: int) -> "PeerGraph":
+        """Build an overlay from a compact CLI spec string.
+
+        Accepted forms: ``full``, ``ring``, ``star``, ``kregular:K``,
+        ``hier:G`` (ring-connected gateways) and ``hier:G:full``
+        (fully-connected gateways), where K is the regular degree and G
+        the LAN group size.
+        """
+        parts = spec.strip().lower().split(":")
+        kind, args = parts[0], parts[1:]
+        try:
+            if kind == "full" and not args:
+                return cls.full_mesh(n_workers)
+            if kind == "ring" and not args:
+                return cls.ring(n_workers)
+            if kind == "star" and not args:
+                return cls.star(n_workers)
+            if kind == "kregular" and len(args) == 1:
+                return cls.k_regular(n_workers, int(args[0]))
+            if kind == "hier" and args and len(args) <= 2:
+                wan = args[1] if len(args) == 2 else "ring"
+                return cls.hierarchical(n_workers, int(args[0]), wan=wan)
+        except ValueError as exc:
+            raise ValueError(f"overlay {spec!r}: {exc}") from None
+        raise ValueError(
+            f"unknown overlay spec {spec!r}; expected full, ring, star, "
+            "kregular:K, hier:G, or hier:G:full"
+        )
+
+    @classmethod
     def full_mesh(cls, n_workers: int) -> "PeerGraph":
         """The paper's all-to-all exchange."""
         return cls(nx.complete_graph(n_workers), n_workers)
@@ -79,6 +109,51 @@ class PeerGraph:
             if nx.is_connected(g):
                 return cls(g, n_workers)
         raise RuntimeError("could not sample a connected k-regular graph")
+
+    @classmethod
+    def hierarchical(
+        cls, n_workers: int, group_size: int, *, wan: str = "ring"
+    ) -> "PeerGraph":
+        """Micro-cloud-of-micro-clouds: LAN cliques bridged over the WAN.
+
+        Workers are grouped into consecutive micro-clouds of
+        ``group_size`` (the last group absorbs any remainder). Inside a
+        group everyone exchanges with everyone — LAN aggregation before
+        WAN egress, the natural DLion deployment. The first worker of
+        each group is its WAN gateway; gateways are connected to each
+        other in a ring (``wan="ring"``) or all-to-all (``wan="full"``).
+        Per-worker degree is therefore bounded by the group size plus
+        the gateway fan-out, independent of the cluster size.
+        """
+        if group_size < 2:
+            raise ValueError("group_size must be >= 2")
+        if group_size > n_workers:
+            raise ValueError("group_size cannot exceed n_workers")
+        if wan not in ("ring", "full"):
+            raise ValueError(f"unknown wan topology {wan!r}")
+        n_groups = n_workers // group_size
+        g = nx.Graph()
+        g.add_nodes_from(range(n_workers))
+        starts = [k * group_size for k in range(n_groups)]
+        for k, start in enumerate(starts):
+            end = n_workers if k == n_groups - 1 else start + group_size
+            members = range(start, end)
+            g.add_edges_from(
+                (a, b) for a in members for b in members if a < b
+            )
+        gateways = starts
+        if len(gateways) > 1:
+            if wan == "full":
+                g.add_edges_from(
+                    (a, b) for a in gateways for b in gateways if a < b
+                )
+            else:
+                g.add_edges_from(
+                    (gateways[i], gateways[(i + 1) % len(gateways)])
+                    for i in range(len(gateways))
+                    if gateways[i] != gateways[(i + 1) % len(gateways)]
+                )
+        return cls(g, n_workers)
 
     @classmethod
     def star(cls, n_workers: int, *, hub: int = 0) -> "PeerGraph":

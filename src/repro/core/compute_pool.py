@@ -186,7 +186,7 @@ class ComputePool:
         if not self._classified:
             self._classify()
         dirty: set[int] = set()
-        for ev in sorted(self.engine.clock._heap):
+        for ev in self.engine.clock.iter_pending():
             if ev.cancelled:
                 continue
             func = getattr(ev.fn, "__func__", ev.fn)

@@ -29,7 +29,7 @@ from repro.cluster.messages import (
     WeightMessage,
 )
 from repro.cluster.monitor import NetworkResourceMonitor
-from repro.cluster.simclock import SimClock
+from repro.cluster.simclock import make_clock
 from repro.cluster.topology import ClusterTopology
 from repro.core.compute_pool import ComputePool
 from repro.core.config import TrainConfig
@@ -181,12 +181,16 @@ class TrainingEngine:
         profiler=None,
         compute_threads: int = 1,
         chaos: ChaosPlan | None = None,
+        clock=None,
     ):
         self.config = config
         self.topology = topology
         self.n_workers = topology.n_workers
         self.rng_pool = RngPool(seed)
-        self.clock = SimClock()
+        # Calendar-queue scheduler by default; REPRO_SIMCLOCK=heap (or an
+        # explicit ``clock``) swaps in the frozen binary-heap reference —
+        # the hook the golden parity suites and bench_dispatch use.
+        self.clock = clock if clock is not None else make_clock()
         self.stopped = False
 
         # Parallel compute stage: workers' numeric work runs on a thread
@@ -249,6 +253,9 @@ class TrainingEngine:
         self.peer_graph = peer_graph
         if peer_graph is not None and peer_graph.n_workers != self.n_workers:
             raise ValueError("peer graph sized for a different cluster")
+        # Sorted-active-members cache: recompute_lbs and active_peers hit
+        # this on every iteration; invalidated on membership churn.
+        self._active_members: list[int] | None = None
 
         # Dataset (shared generation, per-worker shards).
         if dataset is None:
@@ -458,6 +465,87 @@ class TrainingEngine:
                         {"n": round(chosen_n, 3)},
                     )
 
+    def send_gradients_batch(
+        self, src: int, items: list[tuple[int, GradientMessage, float | None]]
+    ) -> None:
+        """Ship one worker's same-instant gradient fan-out as a batch.
+
+        ``items`` is ``[(dst, msg, chosen_n), ...]`` in destination
+        order. When the network matrix is vector-mode and no fault
+        injector is armed, the per-link arithmetic for every live
+        destination runs as one vectorized call; trace spans, delivery
+        scheduling, and link stats still run per destination in the
+        original order, so traces, metrics, and event sequence numbers
+        are byte-identical to the sequential path. Anything the batch
+        cannot express exactly (chaos faults, egress queues, traced
+        bandwidths) falls back to :meth:`send_gradients` per item.
+        """
+        network = self.topology.network
+        if (
+            len(items) < 2
+            or self._fault_injector is not None
+            or not getattr(network, "vectorized", False)
+        ):
+            for dst, msg, chosen_n in items:
+                self.send_gradients(src, dst, msg, chosen_n=chosen_n)
+            return
+        now = self.clock.now
+        active = self.active
+        sizes = [msg.wire_bytes() for _dst, msg, _n in items]
+        live = [i for i, (dst, _msg, _n) in enumerate(items) if dst in active]
+        if live:
+            arrivals = network.enqueue_transfers(
+                src,
+                [items[i][0] for i in live],
+                [sizes[i] for i in live],
+                now,
+            )
+        tracer = self.tracer
+        tracing = tracer.enabled
+        record = self.config.record_link_stats
+        schedule = self.clock.schedule
+        workers = self.workers
+        k = 0
+        for i, (dst, msg, chosen_n) in enumerate(items):
+            nbytes = sizes[i]
+            if dst in active:
+                arrival = float(arrivals[k])
+                k += 1
+                if tracing:
+                    tracer.complete(
+                        f"grad->{dst}",
+                        src,
+                        TID_NET,
+                        now,
+                        arrival - now,
+                        cat="net",
+                        args={"dst": dst, "bytes": int(nbytes)},
+                    )
+                schedule(
+                    arrival,
+                    self._deliver_checked,
+                    dst,
+                    workers[dst].on_gradient_message,
+                    msg,
+                )
+            if record:
+                key = (src, dst)
+                self._c_grad_bytes.inc(nbytes, src, dst)
+                self._c_grad_msgs.inc(1, src, dst)
+                self.result.link_entries.setdefault(key, TimeSeries()).append(
+                    now, msg.num_entries()
+                )
+                if chosen_n is not None:
+                    self._h_chosen_n.observe(chosen_n, f"{src}->{dst}")
+                    self.result.link_chosen_n.setdefault(key, TimeSeries()).append(
+                        now, chosen_n
+                    )
+                    if tracing:
+                        tracer.counter(
+                            f"chosen_n {src}->{dst}", src, now,
+                            {"n": round(chosen_n, 3)},
+                        )
+
     def send_control(self, src: int, dst: int, msg) -> None:
         """Route a control message to the destination worker's handler."""
         if isinstance(msg, DktRequestMessage):
@@ -483,12 +571,30 @@ class TrainingEngine:
 
     def active_peers(self, worker: int) -> list[int]:
         """The peers a worker exchanges with: active, and (when a
-        partial overlay is configured) adjacent in the peer graph."""
-        peers = (w for w in self.active if w != worker)
+        partial overlay is configured) adjacent in the peer graph.
+
+        With an overlay this iterates the worker's *neighbourhood*, not
+        the active set, so per-event peer bookkeeping costs O(degree)
+        — independent of the cluster size (overlay edges never include
+        the worker itself, so the result is unchanged from the dense
+        scan)."""
         if self.peer_graph is not None:
-            neighbors = self.peer_graph.neighbors(worker)
-            peers = (w for w in peers if w in neighbors)
-        return sorted(peers)
+            active = self.active
+            return sorted(
+                w for w in self.peer_graph.neighbors(worker) if w in active
+            )
+        return sorted(w for w in self.active if w != worker)
+
+    def active_members(self) -> list[int]:
+        """Sorted active worker ids, cached between membership changes.
+
+        ``recompute_lbs`` needs the full member list on every GBS/RCP
+        update; at 1,000 workers re-sorting the active set per call
+        dominates, so the engine caches it and invalidates on churn."""
+        members = self._active_members
+        if members is None:
+            members = self._active_members = sorted(self.active)
+        return members
 
     def broadcast_rcp(self, src: int, rcp: float) -> None:
         """Share a worker's measured RCP with every active peer."""
@@ -511,6 +617,7 @@ class TrainingEngine:
         from repro.cluster.messages import DktRequestMessage
 
         worker = self.workers[event.worker]
+        self._active_members = None  # invalidate the sorted-members cache
         if event.action == "leave":
             self.active.discard(event.worker)
             worker.active = False

@@ -41,8 +41,12 @@ class EnvSpec:
         if self.platform not in ("cpu", "gpu"):
             raise ValueError("platform must be cpu or gpu")
         if not self.phases:
-            if len(self.cores) != 6 or len(self.bandwidth) != 6:
-                raise ValueError(f"{self.name}: need 6 workers' cores + bandwidth")
+            if len(self.cores) != len(self.bandwidth):
+                raise ValueError(
+                    f"{self.name}: need matching cores + bandwidth lists"
+                )
+            if len(self.cores) < 2:
+                raise ValueError(f"{self.name}: need at least 2 workers")
 
     @property
     def dynamic(self) -> bool:
@@ -92,6 +96,18 @@ ENVIRONMENTS: dict[str, EnvSpec] = {
         cores=(_P28X, _P28X, _P2X, _P2X, _P2X, _P2X),
         bandwidth=(190.0, 190.0, 140.0, 140.0, 100.0, 100.0),
         description="2x p2.8xlarge + 4x p2.xlarge over WAN",
+    ),
+    # -- scaling stress (extension; not a Table 3 row) -------------------
+    # A 1,000-worker micro-cloud federation: the Hetero SYS A resource
+    # pattern tiled across the fleet. Use with ``--workers N`` to
+    # truncate (the bench ladder runs 16 / 128 / 1000) and ``--overlay``
+    # to bound per-worker degree — a 1,000-way full mesh is exactly the
+    # dense regime the sparse overlays exist to avoid.
+    "Stress 1k": _cpu(
+        "Stress 1k",
+        ([24, 24, 12, 12, 6, 6] * 167)[:1000],
+        ([50, 50, 35, 35, 20, 20] * 167)[:1000],
+        "1,000-worker scaling stress preset (Hetero SYS A pattern tiled)",
     ),
     # -- dynamic ---------------------------------------------------------
     "Dynamic SYS A": EnvSpec(

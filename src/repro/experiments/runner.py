@@ -177,8 +177,37 @@ def gpu_workload() -> Workload:
     )
 
 
+def stress_workload() -> Workload:
+    """The 1,000-worker scaling workload: a deliberately tiny model.
+
+    The stress presets measure *dispatch* scaling, not learning, so the
+    substrate model is shrunk until per-event Python work is negligible
+    and the event loop dominates. The DLion control planes (GBS/LBS,
+    Max N, DKT) still run — at this scale their traffic is exactly what
+    the calendar queue and overlay routing must absorb.
+    """
+    return Workload(
+        platform="cpu",
+        model="mlp",
+        model_kwargs={"in_dim": 576, "hidden": (32,)},
+        dataset="cifar_like",
+        dataset_kwargs={"noise": 1.8},
+        train_size=6000,
+        test_size=500,
+        lr=0.03,
+        initial_lbs=8,
+        per_unit_rate=8.0,
+        overhead=0.05,
+        paper_model_mb=5.0,
+        paper_horizon=PAPER_CPU_HORIZON,
+        eval_subset=100,
+    )
+
+
 def workload_for(env: EnvSpec) -> Workload:
     """The platform workload matching an environment's cpu/gpu tag."""
+    if env.name.startswith("Stress"):
+        return stress_workload()
     return gpu_workload() if env.platform == "gpu" else cpu_workload()
 
 
@@ -335,6 +364,11 @@ class RunSpec:
     # Threads for the engine's parallel compute stage. Results are
     # byte-identical for any value, so sweeps may raise this freely.
     compute_threads: int = 1
+    # Truncate the environment to its first N workers (None = all).
+    n_workers: int | None = None
+    # Sparse exchange overlay spec (see PeerGraph.from_spec); None = the
+    # paper's full mesh.
+    overlay: str | None = None
 
 
 def run_experiment(
@@ -353,11 +387,17 @@ def run_experiment(
     env = get_environment(spec.environment)
     workload = workload_for(env)
     config = build_config(spec.system, workload, **spec.config_overrides)
-    topo = build_topology(env, workload)
+    topo = build_topology(env, workload, n_workers=spec.n_workers)
+    peer_graph = None
+    if spec.overlay is not None:
+        from repro.cluster.peergraph import PeerGraph
+
+        peer_graph = PeerGraph.from_spec(spec.overlay, topo.n_workers)
     engine = TrainingEngine(
         config, topo, seed=spec.seed,
         tracer=tracer, metrics=metrics, profiler=profiler,
         compute_threads=spec.compute_threads,
+        peer_graph=peer_graph,
     )
     horizon = spec.horizon if spec.horizon is not None else workload.horizon()
     return engine.run(horizon)

@@ -411,6 +411,18 @@ class LiveWorkerRuntime:
                 )
         self.mesh.send(dst, CHANNEL_DATA, msg, trace_name=f"grad->{dst}")
 
+    def send_gradients_batch(self, src: int, items) -> None:
+        """Engine protocol: a worker's same-instant gradient fan-out.
+
+        Real sockets serialize per destination anyway, so the live
+        runtime just replays the batch sequentially."""
+        for dst, msg, chosen_n in items:
+            self.send_gradients(src, dst, msg, chosen_n=chosen_n)
+
+    def active_members(self) -> list[int]:
+        """Engine protocol: sorted live worker ids."""
+        return sorted(self.active)
+
     def send_control(self, src: int, dst: int, msg) -> None:
         """Ship a control message on the control channel."""
         self.mesh.send(dst, CHANNEL_CONTROL, msg, trace_name=f"ctrl->{dst}")

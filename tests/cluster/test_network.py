@@ -105,3 +105,85 @@ class TestBandwidthMatrix:
     def test_square_spec_required(self):
         with pytest.raises(ValueError):
             BandwidthMatrix([[1, 2], [3]])
+
+
+class TestVectorMode:
+    """The allocation-free array backend behind all-scalar matrices."""
+
+    def _scalar_matrix(self):
+        return BandwidthMatrix.from_worker_capacity(
+            [50.0, 35.0, 20.0, 10.0], latency=0.01
+        )
+
+    def test_scalar_spec_is_vectorized(self):
+        assert self._scalar_matrix().vectorized
+
+    def test_trace_spec_is_not_vectorized(self):
+        tr = PiecewiseTrace([(0.0, 10.0), (5.0, 20.0)])
+        m = BandwidthMatrix([[1.0, tr], [tr, 1.0]])
+        assert not m.vectorized
+
+    def test_egress_disables_vector_mode(self):
+        m = BandwidthMatrix.from_worker_capacity(
+            [50.0, 35.0], shared_egress=True
+        )
+        assert not m.vectorized
+
+    def test_links_mapping_view(self):
+        m = self._scalar_matrix()
+        assert len(m.links) == 12
+        assert (0, 1) in m.links and (1, 1) not in m.links
+        view = m.links[(0, 2)]
+        assert view.bandwidth_at(0.0) == 20.0
+        assert view.latency == 0.01
+        with pytest.raises(KeyError):
+            m.links[(2, 2)]
+
+    def test_batch_matches_sequential_bit_exact(self):
+        """enqueue_transfers == the scalar loop, to the last ulp."""
+        a, b = self._scalar_matrix(), self._scalar_matrix()
+        # Load some links so busy_until differs per destination.
+        for m in (a, b):
+            m.enqueue_transfer(0, 1, 2_000_000, 0.0)
+            m.enqueue_transfer(0, 3, 500_000, 0.0)
+        dsts = [1, 2, 3]
+        seq = [a.enqueue_transfer(0, d, 750_000, 1.0) for d in dsts]
+        vec = b.enqueue_transfers(0, dsts, [750_000] * 3, 1.0)
+        assert list(vec) == seq
+        # Stats written back identically.
+        for d in dsts:
+            la, lb = a.links[(0, d)], b.links[(0, d)]
+            assert la.busy_until == lb.busy_until
+            assert la.bytes_sent == lb.bytes_sent
+            assert la.transfers == lb.transfers
+        assert a.total_bytes() == b.total_bytes()
+
+    def test_batch_requires_vector_mode(self):
+        tr = PiecewiseTrace([(0.0, 10.0)])
+        m = BandwidthMatrix([[1.0, tr], [tr, 1.0]])
+        with pytest.raises(RuntimeError):
+            m.enqueue_transfers(0, [1], [100], 0.0)
+
+    def test_batch_validation(self):
+        m = self._scalar_matrix()
+        with pytest.raises(KeyError):
+            m.enqueue_transfers(0, [0, 1], [10, 10], 0.0)
+        with pytest.raises(ValueError):
+            m.enqueue_transfers(0, [1], [-5], 0.0)
+
+    def test_scalar_path_returns_python_float(self):
+        end = self._scalar_matrix().enqueue_transfer(0, 1, 1000, 0.0)
+        assert type(end) is float
+
+    def test_fifo_serialization_in_vector_mode(self):
+        m = self._scalar_matrix()
+        first = m.enqueue_transfer(0, 1, 35_000_000 // 8, 0.0)
+        second = m.enqueue_transfer(0, 1, 35_000_000 // 8, 0.0)
+        assert first == pytest.approx(1.0 + 0.01)
+        assert second == pytest.approx(2.0 + 0.01)
+
+    def test_vector_total_bytes(self):
+        m = self._scalar_matrix()
+        m.enqueue_transfer(0, 1, 1000, 0.0)
+        m.enqueue_transfer(2, 3, 234, 0.0)
+        assert m.total_bytes() == 1234

@@ -113,3 +113,63 @@ class TestEngineWithOverlay:
         ).run(12.0)
         assert a.iterations == b.iterations
         assert a.loss[0].values == b.loss[0].values
+
+
+class TestHierarchical:
+    def test_lan_cliques_and_ring_gateways(self):
+        pg = PeerGraph.hierarchical(12, 4)
+        # Intra-group cliques: every non-gateway worker sees its group.
+        assert pg.neighbors(1) == {0, 2, 3}
+        assert pg.neighbors(5) == {4, 6, 7}
+        # Gateways (0, 4, 8) add the WAN ring on top of their LAN.
+        assert pg.neighbors(0) == {1, 2, 3, 4, 8}
+        assert pg.neighbors(4) == {5, 6, 7, 0, 8}
+
+    def test_last_group_absorbs_remainder(self):
+        pg = PeerGraph.hierarchical(10, 4)  # groups: [0..3], [4..9]
+        assert pg.neighbors(9) == {4, 5, 6, 7, 8}
+        assert pg.neighbors(0) == {1, 2, 3, 4}
+
+    def test_full_wan(self):
+        pg = PeerGraph.hierarchical(12, 3, wan="full")
+        gateways = {0, 3, 6, 9}
+        for g in gateways:
+            assert gateways - {g} <= pg.neighbors(g)
+
+    def test_degree_bounded_at_scale(self):
+        pg = PeerGraph.hierarchical(1000, 8)
+        # group_size-1 LAN peers + at most 2 WAN ring peers.
+        assert max(pg.degree(w) for w in range(1000)) <= 9 + 2
+        assert pg.diameter() < 1000  # connected, and nowhere near a chain
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="group_size"):
+            PeerGraph.hierarchical(8, 1)
+        with pytest.raises(ValueError, match="group_size"):
+            PeerGraph.hierarchical(4, 8)
+        with pytest.raises(ValueError, match="wan"):
+            PeerGraph.hierarchical(8, 4, wan="mesh")
+
+
+class TestFromSpec:
+    def test_named_overlays(self):
+        assert PeerGraph.from_spec("full", 5).edges == 10
+        assert PeerGraph.from_spec("ring", 6).degree(0) == 2
+        assert PeerGraph.from_spec("star", 6).degree(0) == 5
+        assert PeerGraph.from_spec("kregular:4", 9).degree(3) == 4
+
+    def test_hier_specs(self):
+        pg = PeerGraph.from_spec("hier:4", 12)
+        assert pg.neighbors(1) == {0, 2, 3}
+        full = PeerGraph.from_spec("hier:3:full", 12)
+        assert {3, 6, 9} <= full.neighbors(0)
+
+    def test_bad_specs_rejected(self):
+        for spec in ("mesh", "kregular", "kregular:x", "hier", "hier:2:tree",
+                     "ring:3", "kregular:1:2:3"):
+            with pytest.raises(ValueError):
+                PeerGraph.from_spec(spec, 8)
+
+    def test_arg_errors_name_the_spec(self):
+        with pytest.raises(ValueError, match="kregular:7"):
+            PeerGraph.from_spec("kregular:7", 4)

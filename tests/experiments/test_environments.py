@@ -51,11 +51,21 @@ class TestTable3Coverage:
         with pytest.raises(ValueError):
             get_environment("Homo Z")
 
-    def test_static_envs_have_six_workers(self):
+    def test_static_paper_envs_have_six_workers(self):
+        # Table 3 presets are all 6-worker clusters; scaling presets
+        # like "Stress 1k" are exempt.
         for env in ENVIRONMENTS.values():
-            if not env.dynamic:
+            if not env.dynamic and not env.name.startswith("Stress"):
                 assert len(env.cores) == 6
                 assert len(env.bandwidth) == 6
+
+    def test_stress_preset_has_1000_workers(self):
+        env = get_environment("Stress 1k")
+        assert len(env.cores) == 1000
+        assert len(env.bandwidth) == 1000
+        # Tiled Hetero SYS A pattern
+        assert env.cores[:6] == (24, 24, 12, 12, 6, 6)
+        assert env.bandwidth[:6] == (50, 50, 35, 35, 20, 20)
 
     def test_spec_validation(self):
         with pytest.raises(ValueError):

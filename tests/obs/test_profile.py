@@ -56,3 +56,87 @@ class TestModuleScope:
             set_active(previous)
         assert "nested" in inner.totals()
         assert "nested" not in outer.totals()
+
+
+class TestExclusiveTime:
+    """The self-time (exclusive) split introduced for simclock/dispatch."""
+
+    def test_nested_scope_self_excludes_child(self):
+        import time
+
+        prof = Profiler()
+        with prof.scope("parent"):
+            with prof.scope("child"):
+                time.sleep(0.02)
+        calls, total = prof.totals()["parent"]
+        assert calls == 1
+        child_total = prof.total("child")
+        self_parent = prof.self_total("parent")
+        # parent's inclusive covers the child; its exclusive does not.
+        assert total >= child_total
+        assert self_parent <= total - child_total + 1e-6
+        assert self_parent >= 0.0
+        # Leaf scope: self == total.
+        assert prof.self_total("child") == child_total
+
+    def test_self_totals_shape_matches_totals(self):
+        prof = Profiler()
+        with prof.scope("a"):
+            with prof.scope("b"):
+                pass
+        assert set(prof.self_totals()) == set(prof.totals())
+        for name, (calls, total) in prof.totals().items():
+            self_calls, self_secs = prof.self_totals()[name]
+            assert self_calls == calls == 1
+            assert 0.0 <= self_secs <= total + 1e-9
+
+    def test_add_charges_innermost_open_frame(self):
+        prof = Profiler()
+        with prof.scope("outer"):
+            prof.add("leaf", 0.5)
+        # The explicit 0.5 s counts as 'outer' child time, not self time.
+        _, outer_total = prof.totals()["outer"]
+        assert prof.self_total("outer") <= max(outer_total - 0.5, 0.0) + 1e-6
+        assert prof.totals()["leaf"] == (1, 0.5)
+
+    def test_sibling_threads_do_not_nest(self):
+        import threading
+
+        prof = Profiler()
+        done = threading.Event()
+
+        def pool_work():
+            with prof.scope("nn/step"):
+                done.wait(0.01)
+
+        with prof.scope("simclock/dispatch"):
+            t = threading.Thread(target=pool_work)
+            t.start()
+            t.join()
+        # The pool thread's scope is a root on its own thread: it must
+        # NOT be subtracted from the event loop's dispatch self time.
+        _, dispatch_total = prof.totals()["simclock/dispatch"]
+        assert prof.self_total("simclock/dispatch") >= dispatch_total - 1e-6
+
+    def test_report_has_self_column(self):
+        prof = Profiler()
+        with prof.scope("only"):
+            pass
+        header = prof.report().splitlines()[0]
+        assert "self s" in header and "total s" in header
+
+    def test_exception_unwinds_frames(self):
+        prof = Profiler()
+        try:
+            with prof.scope("outer"):
+                with prof.scope("inner"):
+                    raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        # Both frames recorded despite the exception; a new root scope
+        # still attributes correctly afterwards.
+        assert prof.totals()["outer"][0] == 1
+        assert prof.totals()["inner"][0] == 1
+        with prof.scope("after"):
+            pass
+        assert prof.self_total("after") == prof.total("after")

@@ -1,0 +1,79 @@
+"""Golden scheduler parity: calendar queue vs heap, byte-for-byte.
+
+The calendar-queue scheduler is required to be *observationally
+invisible*: swapping ``REPRO_SIMCLOCK`` between ``heap`` (the frozen
+original) and ``calendar`` under an otherwise identical engine must
+reproduce the exact same Chrome trace bytes and full metric dumps on
+the Table 3 presets — and on sparse-overlay runs (ring, k-regular),
+whose degree-scaled engine paths ride the same determinism contract.
+Re-running the same configuration must also be byte-identical to
+itself, which pins down any hidden wall-clock or iteration-order
+dependence.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.runner import RunSpec, run_experiment
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+def _golden_run(environment, overlay, kind, monkeypatch, horizon):
+    monkeypatch.setenv("REPRO_SIMCLOCK", kind)
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    spec = RunSpec(
+        environment=environment,
+        system="dlion",
+        seed=3,
+        horizon=horizon,
+        overlay=overlay,
+    )
+    result = run_experiment(spec, tracer=tracer, metrics=metrics)
+    metric_dump = json.dumps(metrics.to_dict(), sort_keys=True, default=str)
+    return result, tracer.dumps(), metric_dump
+
+
+# Table 3 presets across every heterogeneity axis (incl. a dynamic
+# phase-switching row), plus one ring and one k-regular overlay run.
+CONFIGS = [
+    ("Homo B", None, 12.0),
+    ("Hetero CPU B", None, 12.0),
+    ("Hetero NET A", None, 12.0),
+    ("Hetero SYS B", None, 12.0),
+    ("Dynamic SYS A", None, 12.0),
+    ("Hetero NET A", "ring", 12.0),
+    ("Homo B", "kregular:3", 12.0),
+]
+
+
+class TestSchedulerParity:
+    @pytest.mark.parametrize(
+        "environment,overlay,horizon", CONFIGS,
+        ids=[f"{e}{'+' + o if o else ''}" for e, o, _ in CONFIGS],
+    )
+    def test_heap_vs_calendar_byte_identical(
+        self, environment, overlay, horizon, monkeypatch
+    ):
+        r_heap, trace_heap, metrics_heap = _golden_run(
+            environment, overlay, "heap", monkeypatch, horizon
+        )
+        r_cal, trace_cal, metrics_cal = _golden_run(
+            environment, overlay, "calendar", monkeypatch, horizon
+        )
+        assert trace_heap == trace_cal
+        assert metrics_heap == metrics_cal
+        assert r_heap.iterations == r_cal.iterations
+        assert r_heap.events == r_cal.events
+
+    @pytest.mark.parametrize("environment,overlay",
+                             [("Hetero NET A", None), ("Homo B", "kregular:3")])
+    def test_rerun_byte_identical(self, environment, overlay, monkeypatch):
+        one = _golden_run(environment, overlay, "calendar", monkeypatch, 12.0)
+        two = _golden_run(environment, overlay, "calendar", monkeypatch, 12.0)
+        assert one[1] == two[1]  # trace bytes
+        assert one[2] == two[2]  # metric dump

@@ -365,3 +365,51 @@ class TestRunChaos:
         )
         assert rc == 2
         assert "bad checkpoint settings" in capsys.readouterr().err
+
+
+class TestOverlayFlag:
+    def test_overlay_run(self, capsys):
+        rc = main(["run", "-e", "Homo A", "--overlay", "ring",
+                   "--horizon", "10", "--compute-threads", "1"])
+        assert rc == 0
+        assert "accuracy" in capsys.readouterr().out
+
+    def test_overlay_changes_traffic(self, tmp_path, capsys):
+        import json
+
+        paths = {}
+        for name, extra in (("mesh", []), ("ring", ["--overlay", "ring"])):
+            out = tmp_path / f"{name}.json"
+            rc = main(["run", "-e", "Homo A", "--horizon", "10",
+                       "--compute-threads", "1", "--output", str(out), *extra])
+            assert rc == 0
+            paths[name] = json.loads(out.read_text())
+        capsys.readouterr()
+        mesh_links = {k for k, v in paths["mesh"]["link_bytes"].items() if v}
+        ring_links = {k for k, v in paths["ring"]["link_bytes"].items() if v}
+        assert ring_links < mesh_links  # strictly fewer pairs exchange
+
+    def test_overlay_rejected_on_proc_backend(self, capsys):
+        rc = main(["run", "-e", "Homo A", "--backend", "proc",
+                   "--overlay", "ring", "--horizon", "5"])
+        assert rc == 2
+        assert "--overlay" in capsys.readouterr().err
+
+    def test_bad_overlay_spec(self, capsys):
+        rc = main(["run", "-e", "Homo A", "--overlay", "mesh", "--horizon", "5"])
+        assert rc == 2
+        assert "bad --overlay" in capsys.readouterr().err
+
+    def test_overlay_spec_validated_against_cluster_size(self, capsys):
+        # kregular:7 is impossible on a 6-worker preset.
+        rc = main(["run", "-e", "Homo A", "--overlay", "kregular:7",
+                   "--horizon", "5"])
+        assert rc == 2
+        assert "bad --overlay" in capsys.readouterr().err
+
+    def test_stress_preset_truncates(self, capsys):
+        rc = main(["run", "-e", "Stress 1k", "--workers", "12",
+                   "--overlay", "hier:4", "--horizon", "4",
+                   "--compute-threads", "1"])
+        assert rc == 0
+        assert "Stress 1k" in capsys.readouterr().out
