@@ -10,6 +10,13 @@ off the ``transport_frame_latency_seconds`` histogram the mesh's own
 instrumentation records, so the benchmark doubles as an end-to-end
 check of the telemetry plane.
 
+The ladder runs once per lane: ``tcp`` (sockets + frame coalescing) and
+``shm`` (shared-memory rings between the same pairs). A codec
+micro-measurement also records the net allocation count and bytes per
+encoded frame on the pooled zero-copy path, so the "allocation-free in
+steady state" claim is machine-checked right next to the throughput it
+buys.
+
 Numbers land in ``BENCH_transport.json`` at the repo root (best-of-2 in
 full mode). CI runs this file in smoke mode (``REPRO_BENCH_SMOKE=1``):
 4 workers only, few frames, no wall-clock assertions — the delivery and
@@ -19,16 +26,18 @@ accounting checks always run.
 from __future__ import annotations
 
 import asyncio
+import gc
 import json
 import os
 import pathlib
 import time
+import tracemalloc
 
 import numpy as np
 
 from repro.cluster.messages import GradientMessage
 from repro.obs.metrics import MetricsRegistry
-from repro.transport.codec import encode_message
+from repro.transport.codec import FrameBuffer, encode_into, encode_message
 from repro.transport.mesh import CHANNEL_DATA, PeerMesh, TransportConfig
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -43,11 +52,18 @@ FRAMES_PER_LINK = 30 if SMOKE else 400
 RING_K = 2
 PAYLOAD_FLOATS = 1024  # ~4 KB dense-gradient frames
 
-_CFG = TransportConfig(connect_timeout_s=10.0)
+# 256 KB rings keep the 64-worker shm ladder at ~32 MB of segments.
+_CFG = TransportConfig(connect_timeout_s=10.0, shm_ring_bytes=1 << 18)
+
+_token_counter = 0
 
 
 def _successors(w: int, n: int) -> list[int]:
     return [(w + i) % n for i in range(1, RING_K + 1) if (w + i) % n != w]
+
+
+def _predecessors(w: int, n: int) -> list[int]:
+    return [(w - i) % n for i in range(1, RING_K + 1) if (w - i) % n != w]
 
 
 def _payload_frame(sender: int) -> bytes:
@@ -58,8 +74,9 @@ def _payload_frame(sender: int) -> bytes:
     )
 
 
-async def _run_cluster(n: int) -> dict:
+async def _run_cluster(n: int, lane: str) -> dict:
     """One measured round: every worker floods its ring successors."""
+    global _token_counter
     registry = MetricsRegistry()
     expected = sum(len(_successors(w, n)) for w in range(n)) * FRAMES_PER_LINK
     got = 0
@@ -71,8 +88,21 @@ async def _run_cluster(n: int) -> dict:
         if got >= expected:
             done.set()
 
+    shm_kwargs = [{} for _ in range(n)]
+    if lane == "shm":
+        _token_counter += 1
+        token = f"bench{os.getpid()}x{_token_counter}"
+        shm_kwargs = [
+            {
+                "shm_out": set(_successors(w, n)),
+                "shm_in": set(_predecessors(w, n)),
+                "shm_token": token,
+            }
+            for w in range(n)
+        ]
     meshes = [
-        PeerMesh(w, on_message=on_message, config=_CFG, metrics=registry)
+        PeerMesh(w, on_message=on_message, config=_CFG, metrics=registry,
+                 **shm_kwargs[w])
         for w in range(n)
     ]
     ports = [await m.start() for m in meshes]
@@ -100,26 +130,69 @@ async def _run_cluster(n: int) -> dict:
     sent = registry.get("transport_send_msgs_total")
     data_sent = sum(v for k, v in sent.items() if k[2] == "data")
     assert data_sent == expected, (data_sent, expected)
+    coalesced = registry.get("transport_coalesced_frames_total")
+    coalesced_frames = sum(
+        v for k, v in coalesced.items() if k[2] == "data"
+    )
     return {
         "workers": n,
+        "lane": lane,
         "links": expected // FRAMES_PER_LINK,
         "frames": expected,
         "frame_bytes": frame_bytes,
         "wall_s": wall,
         "msgs_per_s": expected / wall,
         "bytes_per_s": expected * frame_bytes / wall,
+        "coalesced_frac": coalesced_frames / expected,
         "frame_latency_p50_s": lat.percentile_all(0.50),
         "frame_latency_p99_s": lat.percentile_all(0.99),
     }
 
 
-def _bench_cluster(n: int) -> dict:
+def _bench_cluster(n: int, lane: str) -> dict:
     best = None
     for _ in range(REPS):
-        row = asyncio.run(_run_cluster(n))
+        row = asyncio.run(_run_cluster(n, lane))
         if best is None or row["msgs_per_s"] > best["msgs_per_s"]:
             best = row
     return best
+
+
+def _encode_allocs() -> dict:
+    """Net allocations per frame on the pooled encode path (the
+    zero-copy claim, measured): tracemalloc block/byte deltas across
+    many re-encodes into one warmed FrameBuffer, divided per frame."""
+    fbuf = FrameBuffer()
+    rng = np.random.default_rng(0)
+    msg = GradientMessage(
+        sender=0, iteration=1, lbs=16,
+        dense={"var0": rng.standard_normal(PAYLOAD_FLOATS).astype(np.float32)},
+    )
+    reps = 50 if SMOKE else 500
+    for _ in range(3):  # warm the buffer to steady state
+        encode_into(msg, fbuf)
+    gc.collect()
+    tracemalloc.start()
+    try:
+        snap0 = tracemalloc.take_snapshot()
+        for _ in range(reps):
+            encode_into(msg, fbuf)
+        snap1 = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    diff = snap1.compare_to(snap0, "filename")
+    # Exclude tracemalloc's own snapshot bookkeeping.
+    blocks = sum(
+        d.count_diff for d in diff if "tracemalloc" not in d.traceback[0].filename
+    )
+    nbytes = sum(
+        d.size_diff for d in diff if "tracemalloc" not in d.traceback[0].filename
+    )
+    return {
+        "frames": reps,
+        "net_allocs_per_frame": blocks / reps,
+        "net_bytes_per_frame": nbytes / reps,
+    }
 
 
 def _record(payload: dict) -> None:
@@ -132,25 +205,34 @@ def _record(payload: dict) -> None:
 
 
 def test_loopback_throughput():
-    """Ring-flood each cluster size; record throughput and p99 latency."""
-    rows = [_bench_cluster(n) for n in CLUSTER_SIZES]
+    """Ring-flood each cluster size per lane; record throughput, p99
+    latency, coalescing fraction, and encode allocation counts."""
+    alloc = _encode_allocs()
+    rows = [_bench_cluster(n, "tcp") for n in CLUSTER_SIZES]
+    shm_rows = [_bench_cluster(n, "shm") for n in CLUSTER_SIZES]
     _record({
         "ring_k": RING_K,
         "frames_per_link": FRAMES_PER_LINK,
         "reps": REPS,
         "cpu_count": os.cpu_count(),
+        "encode_allocations": alloc,
         "clusters": rows,
+        "clusters_shm": shm_rows,
     })
-    for row in rows:
+    for row in rows + shm_rows:
         print(
-            f"\n{row['workers']:>3} workers: "
+            f"\n{row['workers']:>3} workers [{row['lane']}]: "
             f"{row['msgs_per_s']:,.0f} msgs/s, "
             f"{row['bytes_per_s'] / 1e6:.1f} MB/s, "
+            f"coalesced {row['coalesced_frac'] * 100:.0f}%, "
             f"p99 frame latency "
-            f"{(row['frame_latency_p99_s'] or 0.0) * 1e3:.2f} ms"
+            f"{(row['frame_latency_p99_s'] or 0.0) * 1e3:.2f} ms, "
+            f"{alloc['net_allocs_per_frame']:.2f} allocs/frame"
         )
         # The instrumentation itself must have observed every frame.
         assert row["frame_latency_p99_s"] is not None
+    # Steady-state encode must not allocate per frame (pool + views).
+    assert alloc["net_allocs_per_frame"] < 1.0, alloc
     if not SMOKE:
         # Loopback should sustain well beyond paper-scale message rates.
-        assert all(r["msgs_per_s"] > 1000 for r in rows), rows
+        assert all(r["msgs_per_s"] > 1000 for r in rows + shm_rows), rows

@@ -26,12 +26,24 @@ for any message ``m``, ``len(encode_message(m))`` differs from
 SIZE_SLACK_PER_VAR`` (and control-type frames match exactly). The
 tier-1 property tests enforce the bound, so Max-N link budgets computed
 from the estimates stay honest on real sockets.
+
+Allocation discipline (mirrors the workspace buffers PR 5 brought to
+``nn/``): :func:`encode_into` computes the exact frame size first, then
+writes header, prefixes, names, and ndarray payloads straight into a
+reusable :class:`FrameBuffer` with ``struct.pack_into`` and
+``np.copyto`` into ``np.frombuffer`` views — no ``tobytes()`` copies,
+no ``b"".join``, zero steady-state allocations per frame. The wire
+bytes are bit-identical to the historical list-of-parts encoder.
+Decode hands back read-only ``np.frombuffer`` views into the received
+body wherever the wire dtype allows (little-endian hosts), instead of
+``.astype`` copies; all consumers treat received arrays as immutable.
 """
 
 from __future__ import annotations
 
 import json
 import struct
+import sys
 from dataclasses import dataclass
 
 import numpy as np
@@ -70,6 +82,8 @@ __all__ = [
     "Heartbeat",
     "HeartbeatAck",
     "Bye",
+    "FrameBuffer",
+    "encode_into",
     "encode_message",
     "decode_message",
     "decode_body",
@@ -112,6 +126,7 @@ _GRAD_PREFIX = struct.Struct("<IIIBI")  # sender, iteration, lbs, kind, n_vars
 _WEIGHT_PREFIX = struct.Struct("<III")  # sender, iteration, n_vars
 _NAME_LEN = struct.Struct("<H")
 _U32 = struct.Struct("<I")
+_U8 = struct.Struct("<B")
 _LOSS_SHARE = struct.Struct("<IId")  # sender, iteration, avg_loss
 _DKT_REQUEST = struct.Struct("<II")  # sender, iteration
 _RCP_SHARE = struct.Struct("<Id")  # sender, rcp
@@ -120,6 +135,14 @@ _HELLO = struct.Struct("<IB")  # sender, channel
 _HEARTBEAT = struct.Struct("<IQdd")  # sender, samples_drawn, sim time, wall
 _HEARTBEAT_ACK = struct.Struct("<Id")  # sender, echoed wall timestamp
 _BYE = struct.Struct("<I")  # sender
+
+# The view-returning decode path hands out arrays whose wire dtype
+# ("<u4"/"<f4") is the host's native layout only on little-endian
+# machines; big-endian hosts fall back to the historical astype copies.
+_LITTLE_ENDIAN = sys.byteorder == "little"
+
+_CONTROL_BODY_BYTES = CONTROL_MESSAGE_BYTES - FRAME_HEADER_BYTES
+_ZERO_PAD = bytes(_CONTROL_BODY_BYTES)
 
 
 class CodecError(ValueError):
@@ -165,93 +188,227 @@ class Bye:
     sender: int
 
 
+class FrameBuffer:
+    """A reusable, growable byte buffer one frame is encoded into.
+
+    ``encode_into`` computes the exact frame size, grows ``data`` if
+    needed (by *replacing* the bytearray, so memoryviews handed out for
+    a previous frame never block a resize), and records the frame
+    length in ``nbytes``. Acquire/release pooling lives in the mesh;
+    the codec only needs "a bytearray big enough".
+    """
+
+    __slots__ = ("data", "nbytes")
+
+    def __init__(self, capacity: int = 8192):
+        self.data = bytearray(capacity)
+        self.nbytes = 0
+
+    def reserve(self, nbytes: int) -> bytearray:
+        """The backing bytearray, grown to hold at least ``nbytes``."""
+        if len(self.data) < nbytes:
+            self.data = bytearray(max(nbytes, 2 * len(self.data)))
+        return self.data
+
+
 # ----------------------------------------------------------------------
 # Encoding
 # ----------------------------------------------------------------------
-def _encode_name(name: str) -> bytes:
-    raw = name.encode("utf-8")
-    if len(raw) > MAX_NAME_BYTES:
-        raise CodecError(f"variable name too long ({len(raw)} > {MAX_NAME_BYTES}): {name!r}")
-    return _NAME_LEN.pack(len(raw)) + raw
-
-
-def _encode_sparse_vars(payload) -> list[bytes]:
-    parts = []
+def _plan_sparse(payload) -> tuple[int, list]:
+    """Validate a sparse payload; returns (body bytes, write plan)."""
+    size = 0
+    plan = []
     for name, (idx, vals) in payload.items():
+        raw = name.encode("utf-8")
+        if len(raw) > MAX_NAME_BYTES:
+            raise CodecError(
+                f"variable name too long ({len(raw)} > {MAX_NAME_BYTES}): {name!r}"
+            )
         idx = np.asarray(idx)
         vals = np.asarray(vals)
         if idx.shape != vals.shape or idx.ndim != 1:
-            raise CodecError(f"sparse variable {name!r}: need aligned 1-D index/value arrays")
-        parts.append(_encode_name(name))
-        parts.append(_U32.pack(idx.size))
-        parts.append(np.ascontiguousarray(idx, dtype="<u4").tobytes())
-        parts.append(np.ascontiguousarray(vals, dtype="<f4").tobytes())
-    return parts
+            raise CodecError(
+                f"sparse variable {name!r}: need aligned 1-D index/value arrays"
+            )
+        size += 2 + len(raw) + 4 + 8 * idx.size
+        plan.append((raw, idx, vals))
+    return size, plan
 
 
-def _encode_dense_vars(payload) -> list[bytes]:
-    parts = []
+def _plan_dense(payload) -> tuple[int, list]:
+    """Validate a dense payload; returns (body bytes, write plan)."""
+    size = 0
+    plan = []
     for name, arr in payload.items():
+        raw = name.encode("utf-8")
+        if len(raw) > MAX_NAME_BYTES:
+            raise CodecError(
+                f"variable name too long ({len(raw)} > {MAX_NAME_BYTES}): {name!r}"
+            )
         arr = np.asarray(arr)
         if arr.ndim > MAX_NDIM:
             raise CodecError(f"dense variable {name!r}: ndim {arr.ndim} > {MAX_NDIM}")
-        parts.append(_encode_name(name))
-        parts.append(struct.pack("<B", arr.ndim))
-        parts.append(struct.pack(f"<{arr.ndim}I", *arr.shape))
-        parts.append(np.ascontiguousarray(arr, dtype="<f4").tobytes())
-    return parts
+        size += 2 + len(raw) + 1 + 4 * arr.ndim + 4 * arr.size
+        plan.append((raw, arr))
+    return size, plan
 
 
-def _frame(msg_type: int, body: bytes, *, pad_to: int = 0) -> bytes:
-    if pad_to:
-        deficit = pad_to - (FRAME_HEADER_BYTES + len(body))
-        if deficit > 0:
-            body = body + b"\x00" * deficit
-    if len(body) > MAX_BODY_BYTES:
-        raise CodecError(f"body too large: {len(body)} bytes")
-    return FRAME_HEADER.pack(MAGIC, VERSION, msg_type, len(body)) + body
+def _put_name(buf: bytearray, off: int, raw: bytes) -> int:
+    _NAME_LEN.pack_into(buf, off, len(raw))
+    off += 2
+    end = off + len(raw)
+    buf[off:end] = raw
+    return end
 
 
-def encode_message(msg) -> bytes:
-    """Serialize a cluster or transport message into one wire frame."""
+def _put_array(buf: bytearray, off: int, arr: np.ndarray, dtype: str) -> int:
+    """Write ``arr`` as little-endian ``dtype`` at ``off`` — an ndarray
+    view into ``buf``, so conversion lands in place (no tobytes copy).
+    ``casting="unsafe"`` matches ``np.ascontiguousarray(arr, dtype)``
+    elementwise, keeping the wire bytes bit-identical to the historical
+    encoder."""
+    n = arr.size
+    if n:
+        dst = np.frombuffer(buf, dtype=dtype, count=n, offset=off)
+        np.copyto(dst, arr.reshape(-1) if arr.ndim != 1 else arr, casting="unsafe")
+    return off + 4 * n
+
+
+def _put_sparse(buf: bytearray, off: int, plan: list) -> int:
+    for raw, idx, vals in plan:
+        off = _put_name(buf, off, raw)
+        _U32.pack_into(buf, off, idx.size)
+        off = _put_array(buf, off + 4, idx, "<u4")
+        off = _put_array(buf, off, vals, "<f4")
+    return off
+
+
+def _put_dense(buf: bytearray, off: int, plan: list) -> int:
+    for raw, arr in plan:
+        off = _put_name(buf, off, raw)
+        _U8.pack_into(buf, off, arr.ndim)
+        off += 1
+        for d in arr.shape:
+            _U32.pack_into(buf, off, d)
+            off += 4
+        off = _put_array(buf, off, arr, "<f4")
+    return off
+
+
+def encode_into(msg, fbuf: FrameBuffer) -> memoryview:
+    """Serialize ``msg`` into ``fbuf``; returns a view of the frame.
+
+    The exact frame size is computed up front, so the only per-call
+    allocations are tiny transients (encoded names, the validation
+    plan) — the payload bytes are written once, in place. The returned
+    memoryview aliases ``fbuf.data`` and is valid until the buffer is
+    reused for another frame.
+    """
     if isinstance(msg, GradientMessage):
         if msg.sparse is not None:
-            prefix = _GRAD_PREFIX.pack(msg.sender, msg.iteration, msg.lbs, 0, len(msg.sparse))
-            parts = _encode_sparse_vars(msg.sparse)
+            var_bytes, plan = _plan_sparse(msg.sparse)
+            kind, n_vars = 0, len(msg.sparse)
         else:
-            prefix = _GRAD_PREFIX.pack(msg.sender, msg.iteration, msg.lbs, 1, len(msg.dense))
-            parts = _encode_dense_vars(msg.dense)
-        return _frame(T_GRADIENT, prefix + b"".join(parts))
+            var_bytes, plan = _plan_dense(msg.dense)
+            kind, n_vars = 1, len(msg.dense)
+        body_len = _GRAD_PREFIX.size + var_bytes
+        buf = _begin(fbuf, T_GRADIENT, body_len)
+        _GRAD_PREFIX.pack_into(
+            buf, FRAME_HEADER_BYTES, msg.sender, msg.iteration, msg.lbs, kind, n_vars
+        )
+        off = FRAME_HEADER_BYTES + _GRAD_PREFIX.size
+        putter = _put_sparse if kind == 0 else _put_dense
+        putter(buf, off, plan)
+        return _finish(fbuf, body_len)
     if isinstance(msg, WeightMessage):
-        prefix = _WEIGHT_PREFIX.pack(msg.sender, msg.iteration, len(msg.weights))
-        return _frame(T_WEIGHTS, prefix + b"".join(_encode_dense_vars(msg.weights)))
+        var_bytes, plan = _plan_dense(msg.weights)
+        body_len = _WEIGHT_PREFIX.size + var_bytes
+        buf = _begin(fbuf, T_WEIGHTS, body_len)
+        _WEIGHT_PREFIX.pack_into(
+            buf, FRAME_HEADER_BYTES, msg.sender, msg.iteration, len(msg.weights)
+        )
+        _put_dense(buf, FRAME_HEADER_BYTES + _WEIGHT_PREFIX.size, plan)
+        return _finish(fbuf, body_len)
     if isinstance(msg, LossShareMessage):
-        body = _LOSS_SHARE.pack(msg.sender, msg.iteration, msg.avg_loss)
-        return _frame(T_LOSS_SHARE, body, pad_to=CONTROL_MESSAGE_BYTES)
+        return _control_frame(
+            fbuf, T_LOSS_SHARE, _LOSS_SHARE,
+            (msg.sender, msg.iteration, msg.avg_loss),
+        )
     if isinstance(msg, DktRequestMessage):
-        body = _DKT_REQUEST.pack(msg.sender, msg.iteration)
-        return _frame(T_DKT_REQUEST, body, pad_to=CONTROL_MESSAGE_BYTES)
+        return _control_frame(
+            fbuf, T_DKT_REQUEST, _DKT_REQUEST, (msg.sender, msg.iteration)
+        )
     if isinstance(msg, RcpShareMessage):
-        body = _RCP_SHARE.pack(msg.sender, msg.rcp)
-        return _frame(T_RCP_SHARE, body, pad_to=CONTROL_MESSAGE_BYTES)
+        return _control_frame(fbuf, T_RCP_SHARE, _RCP_SHARE, (msg.sender, msg.rcp))
     if isinstance(msg, ControlMessage):
         kind = msg.kind.encode("utf-8")
         payload = json.dumps(msg.payload, sort_keys=True).encode("utf-8")
         if len(kind) > 0xFFFF:
             raise CodecError("control kind too long")
-        body = _CONTROL_PREFIX.pack(msg.sender, len(kind), len(payload)) + kind + payload
-        return _frame(T_CONTROL, body, pad_to=CONTROL_MESSAGE_BYTES)
+        natural = _CONTROL_PREFIX.size + len(kind) + len(payload)
+        body_len = max(natural, _CONTROL_BODY_BYTES)
+        buf = _begin(fbuf, T_CONTROL, body_len)
+        _CONTROL_PREFIX.pack_into(
+            buf, FRAME_HEADER_BYTES, msg.sender, len(kind), len(payload)
+        )
+        off = FRAME_HEADER_BYTES + _CONTROL_PREFIX.size
+        buf[off:off + len(kind)] = kind
+        off += len(kind)
+        buf[off:off + len(payload)] = payload
+        _pad(buf, off + len(payload), FRAME_HEADER_BYTES + body_len)
+        return _finish(fbuf, body_len)
     if isinstance(msg, Hello):
-        return _frame(T_HELLO, _HELLO.pack(msg.sender, msg.channel), pad_to=CONTROL_MESSAGE_BYTES)
+        return _control_frame(fbuf, T_HELLO, _HELLO, (msg.sender, msg.channel))
     if isinstance(msg, Heartbeat):
-        body = _HEARTBEAT.pack(msg.sender, msg.samples_drawn, msg.time, msg.wall)
-        return _frame(T_HEARTBEAT, body, pad_to=CONTROL_MESSAGE_BYTES)
+        return _control_frame(
+            fbuf, T_HEARTBEAT, _HEARTBEAT,
+            (msg.sender, msg.samples_drawn, msg.time, msg.wall),
+        )
     if isinstance(msg, HeartbeatAck):
-        body = _HEARTBEAT_ACK.pack(msg.sender, msg.echo_wall)
-        return _frame(T_HEARTBEAT_ACK, body, pad_to=CONTROL_MESSAGE_BYTES)
+        return _control_frame(
+            fbuf, T_HEARTBEAT_ACK, _HEARTBEAT_ACK, (msg.sender, msg.echo_wall)
+        )
     if isinstance(msg, Bye):
-        return _frame(T_BYE, _BYE.pack(msg.sender), pad_to=CONTROL_MESSAGE_BYTES)
+        return _control_frame(fbuf, T_BYE, _BYE, (msg.sender,))
     raise CodecError(f"cannot encode {type(msg).__name__}")
+
+
+def _begin(fbuf: FrameBuffer, msg_type: int, body_len: int) -> bytearray:
+    if body_len > MAX_BODY_BYTES:
+        raise CodecError(f"body too large: {body_len} bytes")
+    buf = fbuf.reserve(FRAME_HEADER_BYTES + body_len)
+    FRAME_HEADER.pack_into(buf, 0, MAGIC, VERSION, msg_type, body_len)
+    return buf
+
+
+def _finish(fbuf: FrameBuffer, body_len: int) -> memoryview:
+    fbuf.nbytes = FRAME_HEADER_BYTES + body_len
+    return memoryview(fbuf.data)[: fbuf.nbytes]
+
+
+def _pad(buf: bytearray, off: int, end: int) -> None:
+    # The buffer is reused across frames, so the zero padding must be
+    # (re)written explicitly.
+    if end > off:
+        buf[off:end] = _ZERO_PAD[: end - off]
+
+
+def _control_frame(fbuf: FrameBuffer, msg_type: int, st: struct.Struct, fields) -> memoryview:
+    body_len = max(st.size, _CONTROL_BODY_BYTES)
+    buf = _begin(fbuf, msg_type, body_len)
+    st.pack_into(buf, FRAME_HEADER_BYTES, *fields)
+    _pad(buf, FRAME_HEADER_BYTES + st.size, FRAME_HEADER_BYTES + body_len)
+    return _finish(fbuf, body_len)
+
+
+def encode_message(msg) -> bytes:
+    """Serialize a cluster or transport message into one wire frame.
+
+    Compatibility wrapper over :func:`encode_into`: allocates a fresh
+    buffer and copies the frame out as ``bytes``. Hot paths (the mesh
+    sender) use :func:`encode_into` with pooled buffers instead.
+    """
+    return bytes(encode_into(msg, FrameBuffer(256)))
 
 
 # ----------------------------------------------------------------------
@@ -262,6 +419,25 @@ def _take(body: bytes, offset: int, n: int) -> tuple[bytes, int]:
     if end > len(body):
         raise CodecError(f"truncated body: wanted {n} bytes at offset {offset}")
     return body[offset:end], end
+
+
+def _view(body: bytes, offset: int, count: int, dtype: str) -> tuple[np.ndarray, int]:
+    """A read-only ndarray view of ``count`` little-endian 4-byte items
+    at ``offset`` — no slice copy, no astype. Big-endian hosts get the
+    historical native-dtype copy instead (the wire dtype would not be
+    the native layout there)."""
+    end = offset + 4 * count
+    if end > len(body):
+        raise CodecError(
+            f"truncated body: wanted {4 * count} bytes at offset {offset}"
+        )
+    if count == 0:
+        return np.empty(0, dtype=np.int64 if dtype == "<u4" else np.float32), end
+    if _LITTLE_ENDIAN:
+        return np.frombuffer(body, dtype=dtype, count=count, offset=offset), end
+    arr = np.frombuffer(body, dtype=dtype, count=count, offset=offset)
+    native = np.int64 if dtype == "<u4" else np.float32
+    return arr.astype(native), end
 
 
 def _decode_name(body: bytes, offset: int) -> tuple[str, int]:
@@ -279,10 +455,8 @@ def _decode_sparse_vars(body: bytes, offset: int, n_vars: int) -> dict:
         name, offset = _decode_name(body, offset)
         raw, offset = _take(body, offset, _U32.size)
         (count,) = _U32.unpack(raw)
-        raw, offset = _take(body, offset, 4 * count)
-        idx = np.frombuffer(raw, dtype="<u4").astype(np.int64)
-        raw, offset = _take(body, offset, 4 * count)
-        vals = np.frombuffer(raw, dtype="<f4").astype(np.float32)
+        idx, offset = _view(body, offset, count, "<u4")
+        vals, offset = _view(body, offset, count, "<f4")
         out[name] = (idx, vals)
     return out
 
@@ -300,8 +474,8 @@ def _decode_dense_vars(body: bytes, offset: int, n_vars: int) -> dict:
         count = 1
         for d in shape:
             count *= d
-        raw, offset = _take(body, offset, 4 * count)
-        out[name] = np.frombuffer(raw, dtype="<f4").astype(np.float32).reshape(shape)
+        arr, offset = _view(body, offset, count, "<f4")
+        out[name] = arr.reshape(shape)
     return out
 
 

@@ -1,4 +1,4 @@
-"""Asyncio TCP peer mesh with control/data channels per peer.
+"""Asyncio peer mesh with control/data channels and tcp/shm lanes.
 
 The prototype gives every worker pair two Redis queues — a control
 queue for signalling and a data queue for gradients and weights (paper
@@ -28,29 +28,54 @@ Reliability mechanics:
   state, installs fresh outgoing links at its (new) address, and resets
   the reconnect episode — the supervisor's rejoin path after a crashed
   worker is respawned (docs/robustness.md). A superseded link's retry
-  loop can never declare the revived peer dead again;
+  loop can never declare the revived peer dead again. Revived links are
+  always TCP: the old ring segment's positions are unknowable after a
+  crash, so the shm lane is not rebuilt;
 * **fault injection** — an optional ``fault_fn(dst, channel)`` is
   consulted on every send: ``None`` silently drops the frame (blackout
   / drop windows of a chaos plan), a positive value delays the actual
-  socket write by that many wall seconds. The delay is applied by the
-  link's FIFO sender task, so ordering is preserved (head-of-line
-  blocking, exactly like real added latency on one TCP stream).
+  write by that many wall seconds. The delay is applied by the link's
+  FIFO sender task, so ordering is preserved (head-of-line blocking,
+  exactly like real added latency on one TCP stream).
+
+Performance mechanics (docs/architecture.md, "Transport lanes"):
+
+* **zero-copy encode** — :meth:`PeerMesh.send` encodes into a pooled
+  :class:`~repro.transport.codec.FrameBuffer` and enqueues a memoryview
+  of it; the buffer returns to the pool once the frame is written (or
+  dropped), so the steady state allocates nothing per frame;
+* **frame coalescing** — each sender drains whatever its outbox holds
+  (up to ``coalesce_max_bytes``) and issues one batched write:
+  ``writelines`` + a single ``drain()`` on TCP, one ``push_many`` on a
+  ring. The token bucket is charged the batch's full byte count in one
+  ``throttle`` call, so ``transport_stall_seconds_total`` stays
+  truthful per link; per-frame histograms still observe every frame;
+* **shm lanes** — data channels between co-hosted peers can ride a
+  single-producer/single-consumer shared-memory ring
+  (:mod:`repro.transport.shm`) instead of a socket. The receiver
+  creates one inbound ring per shm peer at :meth:`start`; the sender
+  attaches at :meth:`connect`. Control channels (heartbeats, death
+  detection, Bye) always stay on TCP, so liveness semantics are
+  lane-independent. A frame too large for its ring demotes the link to
+  TCP after the ring drains (``transport_lane`` flips accordingly).
 
 Outgoing bytes pass through a per-peer :class:`TokenBucket` so the
 modelled link bandwidth (Table 3, wire-scaled, sped up by the run's
-wall-clock factor) is enforced on the real socket. Transfers are
-recorded through the shared ``obs`` surfaces: ``transport_*`` metric
-families, ``transport/connect`` / ``transport/send_bytes`` profiler
-scopes, and per-transfer spans on the worker's ``net-out`` trace
-thread.
+wall-clock factor) is enforced on the real transport — the shm lane
+changes a frame's transport cost, never its modelled bandwidth.
+Transfers are recorded through the shared ``obs`` surfaces:
+``transport_*`` metric families, ``transport/connect`` /
+``transport/send_bytes`` profiler scopes, and per-transfer spans on the
+worker's ``net-out`` trace thread.
 """
 
 from __future__ import annotations
 
 import asyncio
+import functools
 import random
 from dataclasses import dataclass
-from typing import Awaitable, Callable, Mapping
+from typing import Awaitable, Callable, Iterable, Mapping
 
 from repro.core.run_metrics import TransportMetrics
 from repro.obs import profile as _profile
@@ -59,14 +84,18 @@ from repro.transport.codec import (
     Bye,
     CodecError,
     FRAME_HEADER_BYTES,
+    FrameBuffer,
     Heartbeat,
     HeartbeatAck,
     Hello,
     decode_body,
     decode_frame_header,
+    decode_message,
+    encode_into,
     encode_message,
 )
 from repro.transport.shaper import TokenBucket
+from repro.transport.shm import ShmRing, ShmRingError, ring_name
 
 __all__ = ["CHANNEL_CONTROL", "CHANNEL_DATA", "CHANNEL_NAMES", "TransportConfig", "PeerMesh"]
 
@@ -76,10 +105,19 @@ CHANNEL_NAMES = {CHANNEL_CONTROL: "control", CHANNEL_DATA: "data"}
 
 _CLOSE = object()  # sender-task shutdown sentinel
 
+# Ring/outbox polling backoff: start fine-grained, decay when idle.
+_POLL_MIN_S = 0.0005
+_POLL_MAX_S = 0.005
+
+# Encode-buffer pool bound per mesh: enough for every link's outbox to
+# hold a few frames without thrash, small enough to cap retained memory.
+_POOL_MAX = 64
+
 
 @dataclass(frozen=True)
 class TransportConfig:
-    """Tunables for the live transport (timeouts, retries, heartbeats)."""
+    """Tunables for the live transport (timeouts, retries, heartbeats,
+    coalescing, and the shared-memory lane)."""
 
     connect_timeout_s: float = 5.0
     send_timeout_s: float = 10.0
@@ -89,6 +127,16 @@ class TransportConfig:
     heartbeat_interval_s: float = 0.2
     outbox_capacity: int = 4096
     shape_bandwidth: bool = True
+    # One batched write drains at most this many bytes from an outbox;
+    # keeps a single coalesced write from monopolising the link when a
+    # burst backs up behind a stall.
+    coalesce_max_bytes: int = 262144
+    # A data link rides the shm lane only when both directions of the
+    # modelled link start at or above this bandwidth. 0.0 = every
+    # co-hosted pair qualifies (wire-scaled Mbps are tiny in absolute
+    # terms, so an absolute cutoff is only meaningful in tests).
+    shm_min_mbps: float = 0.0
+    shm_ring_bytes: int = 1 << 20
 
     def __post_init__(self) -> None:
         if min(self.connect_timeout_s, self.send_timeout_s, self.retry_base_s,
@@ -98,13 +146,19 @@ class TransportConfig:
             raise ValueError("retry_attempts must be >= 1")
         if self.outbox_capacity < 1:
             raise ValueError("outbox_capacity must be >= 1")
+        if self.coalesce_max_bytes < 1:
+            raise ValueError("coalesce_max_bytes must be >= 1")
+        if self.shm_min_mbps < 0:
+            raise ValueError("shm_min_mbps must be >= 0")
+        if self.shm_ring_bytes < 4096:
+            raise ValueError("shm_ring_bytes must be >= 4096")
 
 
 class _OutLink:
-    """One outgoing (peer, channel) connection with its FIFO outbox."""
+    """One outgoing (peer, channel) lane with its FIFO outbox."""
 
     __slots__ = (
-        "dst", "channel", "queue", "writer", "task", "addr",
+        "dst", "channel", "queue", "writer", "ring", "task", "addr",
         "ever_connected", "high_water",
     )
 
@@ -113,6 +167,7 @@ class _OutLink:
         self.channel = channel
         self.queue: asyncio.Queue = asyncio.Queue(maxsize=capacity)
         self.writer: asyncio.StreamWriter | None = None
+        self.ring: ShmRing | None = None  # shm lane, else TCP
         self.task: asyncio.Task | None = None
         self.addr: tuple[str, int] | None = None
         self.ever_connected = False  # distinguishes connect vs. reconnect
@@ -139,6 +194,9 @@ class PeerMesh:
         fault_fn: Callable[[int, int], float | None] | None = None,
         seed: int = 0,
         host: str = "127.0.0.1",
+        shm_out: Iterable[int] = (),
+        shm_in: Iterable[int] = (),
+        shm_token: str = "",
     ):
         self.worker_id = worker_id
         self.host = host
@@ -160,9 +218,22 @@ class PeerMesh:
         self._dead: set[int] = set()
         self._graceful: set[int] = set()
         self._closing = False
+        self._draining = False  # close() in its flush phase
         self._hb_task: asyncio.Task | None = None
         self._serve_writers: set[asyncio.StreamWriter] = set()
         self._serve_tasks: set[asyncio.Task] = set()
+
+        # Shared-memory lane membership: peers whose data channel rides
+        # a ring outbound (we attach) / inbound (we create + poll).
+        self._shm_out = frozenset(shm_out)
+        self._shm_in = frozenset(shm_in)
+        self._shm_token = shm_token
+        self._rings_in: dict[int, ShmRing] = {}
+        self._ring_tasks: list[asyncio.Task] = []
+
+        # Pooled encode buffers: send() borrows one, the sender task (or
+        # any drop path) returns it once the frame view is dead.
+        self._pool: list[FrameBuffer] = []
 
         # Metric families (registered only when a registry is attached,
         # so sim-backend dumps carry no empty transport series). The
@@ -176,8 +247,18 @@ class PeerMesh:
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> int:
-        """Bind the listening socket; returns the bound TCP port."""
+        """Bind the listening socket and create inbound shm rings;
+        returns the bound TCP port."""
         self._server = await asyncio.start_server(self._serve, self.host, 0)
+        for peer in sorted(self._shm_in):
+            ring = ShmRing.create(
+                ring_name(self._shm_token, peer, self.worker_id),
+                self.cfg.shm_ring_bytes,
+            )
+            self._rings_in[peer] = ring
+            task = asyncio.ensure_future(self._shm_reader(peer, ring))
+            task.add_done_callback(self._task_done)
+            self._ring_tasks.append(task)
         return self._server.sockets[0].getsockname()[1]
 
     async def connect(self, port_map: Mapping[int, tuple[str, int]]) -> None:
@@ -186,8 +267,10 @@ class PeerMesh:
         ``port_map`` maps worker id to ``(host, port)``; this worker's
         own entry is ignored. Blocks until every link's first connection
         succeeds (or a peer exhausts its retry budget and is declared
-        dead).
+        dead). Data links to shm peers attach their outbound ring
+        instead of dialling TCP.
         """
+        loop = asyncio.get_event_loop()
         waits: list[Awaitable] = []
         for dst, addr in sorted(port_map.items()):
             if dst == self.worker_id:
@@ -198,46 +281,73 @@ class PeerMesh:
                 link = _OutLink(dst, channel, self.cfg.outbox_capacity)
                 link.addr = tuple(addr)
                 self._out[(dst, channel)] = link
-                waits.append(self._ensure_connected(link))
-        results = await asyncio.gather(*waits)
+                if channel == CHANNEL_DATA and dst in self._shm_out:
+                    # ShmRing.attach retries with blocking sleeps, so it
+                    # runs off-loop; the peer creates the ring in start()
+                    # before reporting its port, so this resolves fast.
+                    link.ring = await loop.run_in_executor(
+                        None,
+                        functools.partial(
+                            ShmRing.attach,
+                            ring_name(self._shm_token, self.worker_id, dst),
+                            timeout_s=self.cfg.connect_timeout_s,
+                        ),
+                    )
+                else:
+                    waits.append(self._ensure_connected(link))
+                if channel == CHANNEL_DATA:
+                    self._set_lane(dst, "shm" if link.ring is not None else "tcp")
+        await asyncio.gather(*waits)
         for link in self._out.values():
             link.task = asyncio.ensure_future(self._sender(link))
             link.task.add_done_callback(self._task_done)
         if self._progress_fn is not None:
             self._hb_task = asyncio.ensure_future(self._heartbeat_loop())
             self._hb_task.add_done_callback(self._task_done)
-        if not all(results):
-            # Dead peers were already declared inside _ensure_connected.
-            pass
 
     async def close(self, *, bye: bool = True, drain_timeout_s: float = 2.0) -> None:
         """Flush outboxes, announce departure, and tear everything down."""
         if bye:
             for dst in self.live_peers():
                 self.send(dst, CHANNEL_CONTROL, Bye(self.worker_id))
-        deadline = asyncio.get_event_loop().time() + drain_timeout_s
-        for link in self._out.values():
-            while (not link.queue.empty()
-                   and link.dst not in self._dead
-                   and asyncio.get_event_loop().time() < deadline):
-                await asyncio.sleep(0.01)
+        # From here on we are departing: a peer that cannot be reached
+        # any more (it is tearing down too) is a graceful goodbye, not a
+        # crash to surface through on_peer_dead.
+        self._draining = True
+        # Event-driven drain: every enqueued frame is task_done()'d by
+        # its sender once written (or abandoned), so join() resolves the
+        # moment an outbox is truly flushed — no polling.
+        joins = [
+            asyncio.ensure_future(link.queue.join())
+            for link in self._out.values()
+            if link.dst not in self._dead
+        ]
+        if joins:
+            _, pending = await asyncio.wait(joins, timeout=drain_timeout_s)
+            for j in pending:
+                j.cancel()
         self._closing = True
         if self._hb_task is not None:
             self._hb_task.cancel()
         for link in self._out.values():
-            try:
-                link.queue.put_nowait(_CLOSE)
-            except asyncio.QueueFull:
-                pass
+            self._put_close(link)
         tasks = [link.task for link in self._out.values() if link.task is not None]
         if tasks:
-            done, pending = await asyncio.wait(tasks, timeout=drain_timeout_s)
+            _, pending = await asyncio.wait(tasks, timeout=drain_timeout_s)
             for t in pending:
                 t.cancel()
+        for t in self._ring_tasks:
+            t.cancel()
         for link in self._out.values():
             if link.writer is not None:
                 link.writer.close()
                 link.writer = None
+            if link.ring is not None:
+                link.ring.close()
+                link.ring = None
+        for ring in self._rings_in.values():
+            ring.close()  # creator side: detaches and unlinks
+        self._rings_in.clear()
         for w in list(self._serve_writers):
             w.close()
         if self._server is not None:
@@ -262,6 +372,9 @@ class PeerMesh:
         """
         if dst in self._dead or self._closing:
             return False
+        link = self._out.get((dst, channel))
+        if link is None:
+            return False
         not_before = 0.0
         if self._fault_fn is not None:
             verdict = self._fault_fn(dst, channel)
@@ -271,14 +384,20 @@ class PeerMesh:
                 return False
             if verdict > 0.0:
                 not_before = asyncio.get_event_loop().time() + verdict
-        frame = msg if isinstance(msg, (bytes, bytearray)) else encode_message(msg)
-        link = self._out.get((dst, channel))
-        if link is None:
-            return False
+        if isinstance(msg, (bytes, bytearray, memoryview)):
+            frame, fbuf = bytes(msg), None
+        else:
+            fbuf = self._pool.pop() if self._pool else FrameBuffer()
+            try:
+                frame = encode_into(msg, fbuf)
+            except CodecError:
+                self._release(fbuf)
+                raise
         t_enq = asyncio.get_event_loop().time()
         try:
-            link.queue.put_nowait((bytes(frame), trace_name, not_before, t_enq))
+            link.queue.put_nowait((frame, trace_name, not_before, t_enq, fbuf))
         except asyncio.QueueFull:
+            self._release(fbuf)
             if self._m:
                 self._m.dropped.inc(1, self.worker_id, dst, CHANNEL_NAMES[channel])
             return False
@@ -306,7 +425,9 @@ class PeerMesh:
         the old links are superseded, and their in-flight retry loops
         unwind without side effects (see :meth:`_ensure_connected`).
         Frames still queued on the old links are abandoned — exactly the
-        in-flight loss a real crash implies.
+        in-flight loss a real crash implies. Revived links are TCP even
+        for shm peers: the respawned process cannot trust a ring whose
+        positions the crashed one last wrote.
         """
         if self._closing:
             return
@@ -317,16 +438,17 @@ class PeerMesh:
         for channel in (CHANNEL_CONTROL, CHANNEL_DATA):
             old = self._out.get((peer, channel))
             if old is not None:
-                try:
-                    old.queue.put_nowait(_CLOSE)
-                except asyncio.QueueFull:
-                    pass
+                self._put_close(old)
                 self._drop_writer(old)
+                if old.ring is not None:
+                    old.ring.close()
+                    old.ring = None
             link = _OutLink(peer, channel, self.cfg.outbox_capacity)
             link.addr = tuple(addr)
             self._out[(peer, channel)] = link
             link.task = asyncio.ensure_future(self._sender(link))
             link.task.add_done_callback(self._task_done)
+        self._set_lane(peer, "tcp")
         if self._m:
             self._m.revives.inc(1, self.worker_id, peer)
         if self.tracer.enabled:
@@ -350,66 +472,177 @@ class PeerMesh:
     # ------------------------------------------------------------------
     # Internals: outgoing side
     # ------------------------------------------------------------------
+    def _release(self, fbuf: FrameBuffer | None) -> None:
+        if fbuf is not None and len(self._pool) < _POOL_MAX:
+            self._pool.append(fbuf)
+
+    @staticmethod
+    def _put_close(link: _OutLink) -> None:
+        """Wake ``link``'s sender with the shutdown sentinel. The
+        sentinel is not work: its unfinished-count contribution is
+        balanced here so ``queue.join()`` only tracks real frames."""
+        try:
+            link.queue.put_nowait(_CLOSE)
+            link.queue.task_done()
+        except asyncio.QueueFull:
+            pass
+
+    def _set_lane(self, dst: int, lane: str) -> None:
+        if self._m:
+            self._m.lane.set(1.0 if lane == "shm" else 0.0, self.worker_id, dst, "shm")
+            self._m.lane.set(1.0 if lane == "tcp" else 0.0, self.worker_id, dst, "tcp")
+
     async def _sender(self, link: _OutLink) -> None:
+        loop = asyncio.get_event_loop()
+        carry = None  # dequeued head whose injected delay hasn't elapsed
         while True:
-            item = await link.queue.get()
+            if carry is not None:
+                item, carry = carry, None
+            else:
+                item = await link.queue.get()
             if item is _CLOSE:
-                return
-            frame, trace_name, not_before, t_enq = item
-            if not_before:
+                return  # already balanced by _put_close
+            if item[2]:
                 # Injected latency: hold the FIFO head back, so ordering
                 # is preserved (later frames queue behind the delay).
-                pause = not_before - asyncio.get_event_loop().time()
+                pause = item[2] - loop.time()
                 if pause > 0:
                     await asyncio.sleep(pause)
-            while True:
-                if not await self._ensure_connected(link):
-                    return  # peer dead or link superseded; outbox abandoned
-                bucket = self._buckets.get(link.dst)
-                t0_sim = self._now_fn() if self._now_fn is not None else 0.0
-                if bucket is not None:
-                    if self._rate_fn is not None:
-                        bucket.set_rate(max(1.0, self._rate_fn(link.dst)))
-                    stalled = await bucket.throttle(len(frame))
-                    if stalled > 0 and self._m:
-                        self._m.stall_seconds.inc(
-                            stalled, self.worker_id, link.dst
-                        )
+            # Coalesce: drain whatever else is already queued into one
+            # batched write, bounded by coalesce_max_bytes. A delayed
+            # frame ends the batch (it must wait; order is preserved by
+            # carrying it into the next round).
+            batch = [item]
+            batch_bytes = len(item[0])
+            close_after = False
+            while batch_bytes < self.cfg.coalesce_max_bytes:
+                try:
+                    nxt = link.queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if nxt is _CLOSE:
+                    close_after = True
+                    break
+                if nxt[2] and nxt[2] > loop.time():
+                    carry = nxt
+                    break
+                batch.append(nxt)
+                batch_bytes += len(nxt[0])
+            ok = await self._send_batch(link, batch, batch_bytes)
+            for it in batch:
+                link.queue.task_done()
+                self._release(it[4])
+            if not ok:
+                if carry is not None:
+                    link.queue.task_done()
+                    self._release(carry[4])
+                return  # dead / superseded / closing; outbox abandoned
+            if close_after:
+                return
+
+    async def _send_batch(self, link: _OutLink, batch: list, batch_bytes: int) -> bool:
+        """Write ``batch`` (one or more frames) as a single transport
+        operation; returns ``False`` when the link is defunct."""
+        loop = asyncio.get_event_loop()
+        while True:
+            if link.ring is None and not await self._ensure_connected(link):
+                return False
+            bucket = self._buckets.get(link.dst)
+            t0_sim = self._now_fn() if self._now_fn is not None else 0.0
+            if bucket is not None:
+                if self._rate_fn is not None:
+                    bucket.set_rate(max(1.0, self._rate_fn(link.dst)))
+                # One charge for the whole batch: the modelled link pays
+                # for every byte exactly once, and the stall counter
+                # reflects the real sleep the batch produced.
+                stalled = await bucket.throttle(batch_bytes)
+                if stalled > 0 and self._m:
+                    self._m.stall_seconds.inc(stalled, self.worker_id, link.dst)
+            if link.ring is not None:
+                if not await self._push_ring(link, batch):
+                    if link.ring is None:
+                        continue  # demoted to TCP mid-batch; resend there
+                    return False
+            else:
                 try:
                     with _profile.scope("transport/send_bytes"):
-                        link.writer.write(frame)
+                        if len(batch) > 1:
+                            link.writer.writelines([it[0] for it in batch])
+                        else:
+                            link.writer.write(batch[0][0])
                         await asyncio.wait_for(
                             link.writer.drain(), self.cfg.send_timeout_s
                         )
                 except (ConnectionError, OSError, asyncio.TimeoutError):
                     self._drop_writer(link)
                     continue  # re-enter the connect/retry path
-                break
-            if self._m:
-                ch = CHANNEL_NAMES[link.channel]
-                self._m.send_bytes.inc(len(frame), self.worker_id, link.dst, ch)
-                self._m.send_msgs.inc(1, self.worker_id, link.dst, ch)
-                self._m.outbox_depth.set(
-                    link.queue.qsize(), self.worker_id, link.dst, ch
-                )
+            break
+        if self._m:
+            ch = CHANNEL_NAMES[link.channel]
+            self._m.send_bytes.inc(batch_bytes, self.worker_id, link.dst, ch)
+            self._m.send_msgs.inc(len(batch), self.worker_id, link.dst, ch)
+            if len(batch) > 1:
+                self._m.coalesced.inc(len(batch), self.worker_id, link.dst, ch)
+            self._m.outbox_depth.set(
+                link.queue.qsize(), self.worker_id, link.dst, ch
+            )
+            t_done = loop.time()
+            for frame, _tn, _nb, t_enq, _fb in batch:
                 self._m.h_frame_bytes.observe(
                     len(frame), self.worker_id, link.dst, ch
                 )
                 self._m.h_frame_latency.observe(
-                    max(asyncio.get_event_loop().time() - t_enq, 0.0),
-                    self.worker_id, link.dst, ch,
+                    max(t_done - t_enq, 0.0), self.worker_id, link.dst, ch
                 )
-            if self.tracer.enabled and self._now_fn is not None:
-                t1_sim = self._now_fn()
+        if self.tracer.enabled and self._now_fn is not None:
+            t1_sim = self._now_fn()
+            dur = max(t1_sim - t0_sim, 0.0)
+            for frame, trace_name, _nb, _t_enq, _fb in batch:
                 self.tracer.complete(
                     trace_name or f"send->{link.dst}",
                     self.worker_id,
                     TID_NET,
                     t0_sim,
-                    max(t1_sim - t0_sim, 0.0),
+                    dur,
                     cat="net",
                     args={"dst": link.dst, "bytes": len(frame)},
                 )
+        return True
+
+    async def _push_ring(self, link: _OutLink, batch: list) -> bool:
+        """Push a batch onto the link's outbound ring, backing off while
+        the consumer catches up. A frame too large for the ring demotes
+        the link to TCP (after the ring drains, to preserve order);
+        returns ``False`` with ``link.ring`` cleared in that case so the
+        caller re-sends over TCP."""
+        frames = [it[0] for it in batch]
+        backoff = _POLL_MIN_S
+        while True:
+            try:
+                with _profile.scope("transport/send_bytes"):
+                    if link.ring.push_many(frames):
+                        return True
+            except ShmRingError:
+                await self._demote_to_tcp(link)
+                return False
+            if (link.dst in self._dead or self._closing
+                    or self._superseded(link)):
+                return False
+            await asyncio.sleep(backoff)
+            backoff = min(backoff * 2.0, _POLL_MAX_S)
+
+    async def _demote_to_tcp(self, link: _OutLink) -> None:
+        """Retire a link's shm lane: wait for the consumer to drain the
+        ring (bounded), then detach — subsequent writes dial TCP."""
+        ring, link.ring = link.ring, None
+        deadline = asyncio.get_event_loop().time() + self.cfg.send_timeout_s
+        while (ring.pending_bytes() > 0
+               and asyncio.get_event_loop().time() < deadline
+               and link.dst not in self._dead
+               and not self._closing):
+            await asyncio.sleep(_POLL_MIN_S)
+        ring.close()
+        self._set_lane(link.dst, "tcp")
 
     def _task_done(self, task: asyncio.Task) -> None:
         """Surface an unexpected sender/heartbeat crash instead of a stall.
@@ -491,18 +724,18 @@ class PeerMesh:
                 continue
             dropped = 0
             while not link.queue.empty():
-                if link.queue.get_nowait() is not _CLOSE:
+                item = link.queue.get_nowait()
+                if item is not _CLOSE:
+                    link.queue.task_done()
                     dropped += 1
+                    self._release(item[4])
             if dropped and self._m:
                 self._m.dropped.inc(
                     dropped, self.worker_id, peer, CHANNEL_NAMES[channel]
                 )
-            try:
-                link.queue.put_nowait(_CLOSE)
-            except asyncio.QueueFull:
-                pass
+            self._put_close(link)
             self._drop_writer(link)
-        graceful = peer in self._graceful or self._closing
+        graceful = peer in self._graceful or self._closing or self._draining
         if self.tracer.enabled:
             self.tracer.instant(
                 "peer-dead" if not graceful else "peer-bye",
@@ -534,6 +767,30 @@ class PeerMesh:
     # ------------------------------------------------------------------
     # Internals: incoming side
     # ------------------------------------------------------------------
+    async def _shm_reader(self, peer: int, ring: ShmRing) -> None:
+        """Poll one inbound ring, dispatching frames like a data-channel
+        socket reader would. Polling is adaptive: sub-millisecond while
+        traffic flows, decaying toward ``_POLL_MAX_S`` when idle."""
+        backoff = _POLL_MIN_S
+        while not self._closing:
+            records = ring.pop_all()
+            if not records:
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2.0, _POLL_MAX_S)
+                continue
+            backoff = _POLL_MIN_S
+            for rec in records:
+                try:
+                    msg = decode_message(rec)
+                except CodecError:
+                    # Same stance as the socket reader: a garbage stream
+                    # is dropped, liveness is the control channel's job.
+                    return
+                self._on_message(peer, CHANNEL_DATA, msg)
+            # Yield between drains so a flooded ring cannot starve the
+            # event loop (pop_all caps records per call already).
+            await asyncio.sleep(0)
+
     async def _read_frame(self, reader: asyncio.StreamReader):
         header = await reader.readexactly(FRAME_HEADER_BYTES)
         msg_type, body_len = decode_frame_header(header)

@@ -81,6 +81,7 @@ from repro.transport.mesh import (
     PeerMesh,
     TransportConfig,
 )
+from repro.transport.shm import shm_available
 from repro.utils.metrics import TimeSeries
 from repro.utils.rng import RngPool
 
@@ -172,6 +173,12 @@ class LiveRunSpec:
     # then only the end-of-run result payload exists, and a SIGKILLed
     # worker's telemetry is lost with it).
     ship_interval_s: float | None = 1.0
+    # Shared-memory data lanes between co-hosted workers (see
+    # docs/architecture.md, "Transport lanes"). ``shm_token`` is the
+    # per-run nonce baked into every ring segment name; the supervisor
+    # generates it and sweeps leftover segments after the run.
+    shm_lanes: bool = False
+    shm_token: str = ""
 
     def __post_init__(self) -> None:
         if self.horizon <= 0:
@@ -195,7 +202,7 @@ class LiveWorkerRuntime:
     starts from bit-identical models, shards, and jitter streams.
     """
 
-    def __init__(self, worker_id: int, spec: LiveRunSpec):
+    def __init__(self, worker_id: int, spec: LiveRunSpec, *, resume: bool = False):
         self.worker_id = worker_id
         self.spec = spec
         self.config = spec.config
@@ -324,6 +331,7 @@ class LiveWorkerRuntime:
         self.link_entries: dict[tuple[int, int], TimeSeries] = {}
         self.link_chosen_n: dict[tuple[int, int], TimeSeries] = {}
 
+        shm_peers = self._shm_lane_peers(resume)
         self.mesh = PeerMesh(
             worker_id,
             on_message=self._on_mesh_message,
@@ -339,6 +347,9 @@ class LiveWorkerRuntime:
             fault_fn=self._mesh_fault_fn if self._fault_injector else None,
             seed=spec.seed,
             host=spec.host,
+            shm_out=shm_peers,
+            shm_in=shm_peers,
+            shm_token=spec.shm_token,
         )
 
     # ------------------------------------------------------------------
@@ -358,6 +369,31 @@ class LiveWorkerRuntime:
                 **cfg.dataset_kwargs,
             )
         raise ValueError(f"unknown dataset preset {cfg.dataset!r}")
+
+    def _shm_lane_peers(self, resume: bool) -> set[int]:
+        """Which peers' data links ride the shm lane.
+
+        The rule is symmetric — both ends of a link evaluate the same
+        min-of-both-directions modelled bandwidth at t=0 against
+        ``transport.shm_min_mbps`` — so sender and receiver always agree
+        on a link's lane without negotiating. A respawned worker
+        (``resume=True``) stays on TCP everywhere: its peers' ring
+        attachments still point at the crashed incarnation's segments,
+        and the supervisor's revive path downgrades their links to TCP
+        to match (see :meth:`PeerMesh.revive`).
+        """
+        if not self.spec.shm_lanes or resume or not shm_available():
+            return set()
+        cutoff = self.spec.transport.shm_min_mbps
+        peers: set[int] = set()
+        for dst in range(self.n_workers):
+            if dst == self.worker_id:
+                continue
+            fwd = self.topology.network.link(self.worker_id, dst)
+            rev = self.topology.network.link(dst, self.worker_id)
+            if min(fwd.bandwidth_at(0.0), rev.bandwidth_at(0.0)) >= cutoff:
+                peers.add(dst)
+        return peers
 
     def _link_rate_bytes(self, dst: int) -> float:
         """The shaper rate for the link to ``dst``: modelled Mbps at the
@@ -1026,7 +1062,7 @@ async def _child_main(
             except RuntimeError:  # pragma: no cover - loop already gone
                 pass
 
-    runtime = LiveWorkerRuntime(worker_id, spec)
+    runtime = LiveWorkerRuntime(worker_id, spec, resume=resume)
     if resume and spec.checkpoint is not None:
         restored = load_latest(spec.checkpoint.directory, worker_id)
         if restored is not None:

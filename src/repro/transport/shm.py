@@ -1,0 +1,339 @@
+"""SPSC shared-memory ring transport for co-hosted worker pairs.
+
+DLion's premise is that micro-clouds pair fast intra-cloud LANs with
+scarce WAN bandwidth (§2); the live backend mirrors that asymmetry by
+giving LAN-grade links a cheaper lane than a TCP socket: one
+single-producer/single-consumer byte ring in a
+:mod:`multiprocessing.shared_memory` segment per *directed* worker
+pair, carrying the data channel's wire frames without any syscall per
+frame. The control channel (heartbeats, death detection, Bye) always
+stays on TCP, so liveness semantics are identical on both lanes, and
+the token-bucket shaper still paces writers — the ring changes the
+transport cost of a frame, never its modelled bandwidth.
+
+Layout of a segment (created by the *receiver*, attached by the
+sender)::
+
+    0    head  u64   consumer position (monotonic byte counter)
+    64   tail  u64   producer position (monotonic byte counter)
+    96   magic u32   0x444C5348 ("DLSH")
+    104  cap   u64   data region size in bytes
+    128  data  [cap] length-prefixed records
+
+Records are ``u32 length | payload`` and never wrap: when a record
+does not fit in the space left before the edge, the producer writes a
+``0xFFFFFFFF`` skip sentinel (or, with fewer than 4 bytes left, both
+sides skip the sliver implicitly) and starts the record at offset 0.
+Head and tail live on separate cache lines and are written with single
+aligned 8-byte stores after the payload bytes — the store-ordering
+this relies on holds on x86-64 and on AArch64's total-store-ordered
+regions as exercised by CPython's memcpy-based buffer writes; this is
+the same practical assumption every Python shm ring makes.
+
+``multiprocessing.resource_tracker`` on Python < 3.13 registers a
+segment on *attach* as well as create and unlinks everything it knows
+at process exit (bpo-38119) — which would tear a live ring out from
+under the other process; and because one tracker daemon serves the
+whole process tree, unregistering after the fact races the other
+side's registration. Ring segments are therefore never registered at
+all (:func:`_untracked` patches ``register`` around the
+``SharedMemory`` constructor); the mesh unlinks rings it created at
+close, and the live engine sweeps any survivors (crashed children)
+after the run.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import struct
+import threading
+import time
+
+try:  # pragma: no cover - import guard for exotic platforms
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+__all__ = ["ShmRing", "ShmRingError", "shm_available", "ring_name", "sweep_ring"]
+
+_OFF_HEAD = 0
+_OFF_TAIL = 64
+_OFF_MAGIC = 96
+_OFF_CAP = 104
+_OFF_DATA = 128
+
+_MAGIC = 0x444C5348  # "DLSH"
+_SKIP = 0xFFFFFFFF  # wrap sentinel: no record crosses the edge
+
+_U64 = struct.Struct("<Q")
+_U32 = struct.Struct("<I")
+
+
+class ShmRingError(RuntimeError):
+    """Raised for malformed segments or records too large for the ring."""
+
+
+def shm_available() -> bool:
+    """Whether POSIX shared memory is usable on this platform."""
+    return _shared_memory is not None
+
+
+def ring_name(token: str, src: int, dst: int) -> str:
+    """The canonical segment name for the directed pair ``src -> dst``.
+
+    ``token`` is a per-run nonce the supervisor generates, so stale
+    segments from a previous (crashed) run can never be mistaken for a
+    live ring.
+    """
+    return f"dlion_{token}_{src}_{dst}"
+
+
+class ShmRing:
+    """One directed SPSC byte ring over a shared-memory segment.
+
+    Exactly one process produces (:meth:`push_many`) and exactly one
+    consumes (:meth:`pop_all`); the mesh guarantees that by giving every
+    directed pair its own ring.
+    """
+
+    def __init__(self, shm, capacity: int, *, created: bool):
+        self._shm = shm
+        self._buf = shm.buf
+        self.capacity = capacity
+        self.created = created
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, name: str, capacity: int = 1 << 20) -> "ShmRing":
+        """Create (as the consumer) a fresh ring segment named ``name``."""
+        if _shared_memory is None:  # pragma: no cover - platform guard
+            raise ShmRingError("shared memory is not available on this platform")
+        if capacity < 4096:
+            raise ValueError("ring capacity must be >= 4096 bytes")
+        with _untracked():
+            shm = _shared_memory.SharedMemory(
+                name=name, create=True, size=_OFF_DATA + capacity
+            )
+        buf = shm.buf
+        _U64.pack_into(buf, _OFF_HEAD, 0)
+        _U64.pack_into(buf, _OFF_TAIL, 0)
+        _U64.pack_into(buf, _OFF_CAP, capacity)
+        _U32.pack_into(buf, _OFF_MAGIC, _MAGIC)
+        return cls(shm, capacity, created=True)
+
+    @classmethod
+    def attach(cls, name: str, *, timeout_s: float = 5.0) -> "ShmRing":
+        """Attach (as the producer) to a ring the consumer created.
+
+        Retries until ``timeout_s``: the peer may still be binding its
+        mesh when our connect phase starts.
+        """
+        if _shared_memory is None:  # pragma: no cover - platform guard
+            raise ShmRingError("shared memory is not available on this platform")
+        deadline = time.monotonic() + timeout_s
+        while True:
+            try:
+                with _untracked():
+                    shm = _shared_memory.SharedMemory(name=name)
+                break
+            except FileNotFoundError:
+                if time.monotonic() >= deadline:
+                    raise ShmRingError(f"ring {name!r} never appeared") from None
+                time.sleep(0.01)
+        buf = shm.buf
+        (magic,) = _U32.unpack_from(buf, _OFF_MAGIC)
+        if magic != _MAGIC:
+            shm.close()
+            raise ShmRingError(f"segment {name!r} is not a DLion ring")
+        (capacity,) = _U64.unpack_from(buf, _OFF_CAP)
+        return cls(shm, int(capacity), created=False)
+
+    def close(self) -> None:
+        """Detach; the creating side also unlinks the segment."""
+        if self._closed:
+            return
+        self._closed = True
+        self._buf = None
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - stray exported view
+            return
+        if self.created:
+            try:
+                with _untracked():
+                    self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already swept
+                pass
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def push_many(self, frames) -> bool:
+        """Append every frame (bytes-like) as one record each, then
+        publish the tail once. All-or-nothing: returns ``False`` —
+        writing nothing — when the batch does not fit (ring full means
+        the consumer is behind; callers back off and retry)."""
+        if self._closed:
+            return False
+        buf = self._buf
+        cap = self.capacity
+        (head,) = _U64.unpack_from(buf, _OFF_HEAD)
+        (tail,) = _U64.unpack_from(buf, _OFF_TAIL)
+        # Dry run: records never wrap, so account for edge padding.
+        need = 0
+        pos = tail % cap
+        for frame in frames:
+            n = len(frame)
+            if 4 + n > cap - 8:
+                raise ShmRingError(
+                    f"frame of {n} bytes exceeds ring capacity {cap}"
+                )
+            contig = cap - pos
+            if contig < 4 + n:
+                need += contig  # skip sliver / sentinel pad
+                pos = 0
+            need += 4 + n
+            pos = (pos + 4 + n) % cap
+        if need > cap - (tail - head):
+            return False
+        # Commit: payload bytes first, tail published last.
+        pos = tail % cap
+        for frame in frames:
+            n = len(frame)
+            contig = cap - pos
+            if contig < 4 + n:
+                if contig >= 4:
+                    _U32.pack_into(buf, _OFF_DATA + pos, _SKIP)
+                tail += contig
+                pos = 0
+            _U32.pack_into(buf, _OFF_DATA + pos, n)
+            start = _OFF_DATA + pos + 4
+            buf[start:start + n] = bytes(frame) if not isinstance(
+                frame, (bytes, bytearray, memoryview)
+            ) else frame
+            tail += 4 + n
+            pos = (pos + 4 + n) % cap
+        _U64.pack_into(buf, _OFF_TAIL, tail)
+        return True
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def pop_all(self, max_records: int = 1024) -> list[bytes]:
+        """Drain up to ``max_records`` records, advancing head once."""
+        if self._closed:
+            return []
+        buf = self._buf
+        cap = self.capacity
+        (head,) = _U64.unpack_from(buf, _OFF_HEAD)
+        (tail,) = _U64.unpack_from(buf, _OFF_TAIL)
+        out: list[bytes] = []
+        while head != tail and len(out) < max_records:
+            pos = head % cap
+            contig = cap - pos
+            if contig < 4:
+                head += contig
+                continue
+            (n,) = _U32.unpack_from(buf, _OFF_DATA + pos)
+            if n == _SKIP:
+                head += contig
+                continue
+            if 4 + n > cap or head + 4 + n > tail:
+                raise ShmRingError("corrupt ring record")
+            start = _OFF_DATA + pos + 4
+            out.append(bytes(buf[start:start + n]))
+            head += 4 + n
+        if out:
+            _U64.pack_into(buf, _OFF_HEAD, head)
+        return out
+
+    def pending_bytes(self) -> int:
+        """Unconsumed bytes in the ring (records + padding)."""
+        if self._closed:
+            return 0
+        (head,) = _U64.unpack_from(self._buf, _OFF_HEAD)
+        (tail,) = _U64.unpack_from(self._buf, _OFF_TAIL)
+        return int(tail - head)
+
+
+_patch_lock = threading.Lock()
+_patch_depth = 0
+_orig_reg = None
+_orig_unreg = None
+
+
+@contextlib.contextmanager
+def _untracked():
+    """Suppress resource-tracker bookkeeping of shared_memory segments
+    for the duration of the block (bpo-38119: on py<3.13 even attaching
+    registers the segment, and the tracker — one daemon for the whole
+    process tree — would destroy a ring other live processes still use
+    at the first process exit). Both ``register`` (create/attach) and
+    ``unregister`` (``unlink``, which would message the daemon about a
+    name it never saw) are muted. Lifetime is managed explicitly
+    instead: mesh close unlinks created rings and the live engine
+    sweeps leftovers.
+
+    Refcounted under a lock because attaches run in executor threads:
+    the patch is installed when the first block enters and restored
+    only when the last one exits, so one thread leaving can never
+    re-expose the real tracker to a thread still mid-``SharedMemory``.
+    """
+    global _patch_depth, _orig_reg, _orig_unreg
+    try:  # pragma: no cover - tracker internals vary across versions
+        from multiprocessing import resource_tracker
+    except ImportError:  # pragma: no cover
+        yield
+        return
+
+    with _patch_lock:
+        if _patch_depth == 0:
+            _orig_reg = resource_tracker.register
+            _orig_unreg = resource_tracker.unregister
+            orig_reg, orig_unreg = _orig_reg, _orig_unreg
+
+            def _skip_reg(name, rtype):
+                if rtype != "shared_memory":
+                    orig_reg(name, rtype)
+
+            def _skip_unreg(name, rtype):
+                if rtype != "shared_memory":
+                    orig_unreg(name, rtype)
+
+            resource_tracker.register = _skip_reg
+            resource_tracker.unregister = _skip_unreg
+        _patch_depth += 1
+    try:
+        yield
+    finally:
+        with _patch_lock:
+            _patch_depth -= 1
+            if _patch_depth == 0:
+                resource_tracker.register = _orig_reg
+                resource_tracker.unregister = _orig_unreg
+
+
+def sweep_ring(name: str) -> bool:
+    """Best-effort unlink of a (possibly leaked) ring segment by name.
+
+    Used by the supervisor after a run: children that crashed before
+    their mesh close leave their created rings behind. Returns whether
+    a segment was found and unlinked.
+    """
+    if _shared_memory is None:  # pragma: no cover - platform guard
+        return False
+    try:
+        with _untracked():
+            shm = _shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    try:
+        shm.close()
+        with _untracked():
+            shm.unlink()
+    except (FileNotFoundError, OSError):  # pragma: no cover
+        return False
+    return True

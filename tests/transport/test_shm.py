@@ -1,0 +1,132 @@
+"""ShmRing unit tests: SPSC ring mechanics over real shared memory.
+
+The wrap sentinel, all-or-nothing batch push, monotonic positions, and
+the create/attach/sweep lifecycle are exercised in-process (one object
+as producer, one as consumer, same segment) — the cross-process story
+is covered by the mesh lane tests and the live-smoke CI run.
+"""
+
+import os
+
+import pytest
+
+from repro.transport.shm import (
+    ShmRing,
+    ShmRingError,
+    ring_name,
+    shm_available,
+    sweep_ring,
+)
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="platform lacks shared memory"
+)
+
+
+def _pair(capacity: int = 4096, tag: str = "t"):
+    name = ring_name(f"{tag}{os.getpid()}", 0, 1)
+    consumer = ShmRing.create(name, capacity)
+    producer = ShmRing.attach(name)
+    return name, producer, consumer
+
+
+class TestRoundTrip:
+    def test_records_come_back_in_order(self):
+        _, w, r = _pair()
+        try:
+            frames = [bytes([i]) * (i * 7 % 50) for i in range(40)]
+            assert w.push_many(frames)
+            assert r.pop_all() == frames
+            assert r.pending_bytes() == 0
+        finally:
+            w.close()
+            r.close()
+
+    def test_zero_length_records_survive(self):
+        _, w, r = _pair()
+        try:
+            assert w.push_many([b"", b"x", b""])
+            assert r.pop_all() == [b"", b"x", b""]
+        finally:
+            w.close()
+            r.close()
+
+    def test_wraparound_preserves_payloads(self):
+        """Push/pop far more bytes than the capacity so records land on
+        every offset, including the skip-sentinel edge cases."""
+        _, w, r = _pair(capacity=4096)
+        try:
+            sent = []
+            for i in range(300):
+                batch = [bytes([i % 256]) * ((i * 131) % 200) for _ in range(3)]
+                assert w.push_many(batch)
+                sent.extend(batch)
+                got = r.pop_all()
+                assert got == sent[: len(got)]
+                del sent[: len(got)]
+            assert r.pop_all() == sent
+        finally:
+            w.close()
+            r.close()
+
+    def test_pop_all_respects_max_records(self):
+        _, w, r = _pair()
+        try:
+            assert w.push_many([b"a"] * 10)
+            assert len(r.pop_all(max_records=3)) == 3
+            assert len(r.pop_all()) == 7
+        finally:
+            w.close()
+            r.close()
+
+
+class TestBackpressure:
+    def test_full_ring_rejects_batch_without_writing(self):
+        _, w, r = _pair(capacity=4096)
+        try:
+            big = bytes(1000)
+            pushes = 0
+            while w.push_many([big]):
+                pushes += 1
+            assert pushes >= 3
+            pending = r.pending_bytes()
+            assert not w.push_many([big])  # all-or-nothing: no partial write
+            assert r.pending_bytes() == pending
+            assert r.pop_all() == [big] * pushes  # drain frees space again
+            assert w.push_many([big])
+        finally:
+            w.close()
+            r.close()
+
+    def test_oversized_frame_raises(self):
+        _, w, r = _pair(capacity=4096)
+        try:
+            with pytest.raises(ShmRingError):
+                w.push_many([bytes(5000)])
+        finally:
+            w.close()
+            r.close()
+
+
+class TestLifecycle:
+    def test_attach_missing_ring_times_out(self):
+        with pytest.raises(ShmRingError, match="never appeared"):
+            ShmRing.attach(ring_name("nosuch", 0, 1), timeout_s=0.05)
+
+    def test_creator_close_unlinks_segment(self):
+        name, w, r = _pair()
+        w.close()
+        r.close()
+        assert not sweep_ring(name)  # already gone
+
+    def test_sweep_reclaims_a_leaked_segment(self):
+        name = ring_name(f"leak{os.getpid()}", 0, 1)
+        ring = ShmRing.create(name, 4096)
+        # Simulate a crashed creator: detach without unlinking.
+        ring._shm.close()
+        assert sweep_ring(name)
+        assert not sweep_ring(name)
+
+    def test_capacity_floor(self):
+        with pytest.raises(ValueError):
+            ShmRing.create(ring_name(f"cap{os.getpid()}", 0, 1), 100)
